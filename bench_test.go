@@ -1,0 +1,220 @@
+// Benchmarks: one per table/figure of the papers (driving the same
+// runners as cmd/evobench, in Quick mode so `go test -bench` terminates in
+// reasonable time — use `evobench -fig <id>` for the full-scale sweeps),
+// plus micro-benchmarks of the load-bearing operations.
+package evotree_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"evotree"
+	"evotree/internal/bb"
+	"evotree/internal/cluster"
+	"evotree/internal/compact"
+	"evotree/internal/experiments"
+	"evotree/internal/graph"
+	"evotree/internal/matrix"
+	"evotree/internal/nj"
+	"evotree/internal/pbb"
+	"evotree/internal/seqsim"
+	"evotree/internal/upgma"
+)
+
+// benchFigure runs one experiment runner end to end.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh seed per iteration defeats the runners' memoization so
+		// every iteration measures a genuine sweep.
+		cfg := experiments.Config{Seed: 2005 + int64(i), Workers: 2, Quick: true}
+		f, err := r(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// PaCT 2005 figures.
+func BenchmarkFigPact8(b *testing.B)  { benchFigure(b, "pact8") }
+func BenchmarkFigPact9(b *testing.B)  { benchFigure(b, "pact9") }
+func BenchmarkFigPact10(b *testing.B) { benchFigure(b, "pact10") }
+func BenchmarkFigPact11(b *testing.B) { benchFigure(b, "pact11") }
+func BenchmarkFigPact12(b *testing.B) { benchFigure(b, "pact12") }
+func BenchmarkFigPact13(b *testing.B) { benchFigure(b, "pact13") }
+
+// HPC-Asia 2005 figures.
+func BenchmarkFigPar1(b *testing.B) { benchFigure(b, "par1") }
+func BenchmarkFigPar2(b *testing.B) { benchFigure(b, "par2") }
+func BenchmarkFigPar3(b *testing.B) { benchFigure(b, "par3") }
+func BenchmarkFigPar4(b *testing.B) { benchFigure(b, "par4") }
+func BenchmarkFigPar5(b *testing.B) { benchFigure(b, "par5") }
+func BenchmarkFigPar6(b *testing.B) { benchFigure(b, "par6") }
+func BenchmarkFigPar7(b *testing.B) { benchFigure(b, "par7") }
+func BenchmarkFigPar8(b *testing.B) { benchFigure(b, "par8") }
+
+// NCS 2005 grid tables.
+func BenchmarkTabGridMedian(b *testing.B) { benchFigure(b, "grid-median") }
+func BenchmarkTabGridMean(b *testing.B)   { benchFigure(b, "grid-mean") }
+func BenchmarkTabGridWorst(b *testing.B)  { benchFigure(b, "grid-worst") }
+func BenchmarkTabGrid24(b *testing.B)     { benchFigure(b, "grid24") }
+
+// Ablations.
+func BenchmarkAblationMaxMin(b *testing.B)    { benchFigure(b, "ablation-maxmin") }
+func BenchmarkAblationUB(b *testing.B)        { benchFigure(b, "ablation-ub") }
+func BenchmarkAblationPool(b *testing.B)      { benchFigure(b, "ablation-pool") }
+func BenchmarkAblationReduction(b *testing.B) { benchFigure(b, "ablation-reduction") }
+func BenchmarkAblation33(b *testing.B)        { benchFigure(b, "ablation-33") }
+func BenchmarkAblationSearch(b *testing.B)    { benchFigure(b, "ablation-search") }
+
+// Extensions.
+func BenchmarkExtAccuracy(b *testing.B) { benchFigure(b, "accuracy") }
+func BenchmarkExtScale(b *testing.B)    { benchFigure(b, "scale") }
+
+// ---- micro-benchmarks ----
+
+func benchMatrix(n int) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(42))
+	ds, err := seqsim.Generate(rng, seqsim.Params{Species: n, SeqLen: 150, Rate: 1.2})
+	if err != nil {
+		panic(err)
+	}
+	return ds.Matrix
+}
+
+func hardMatrix(n int) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(42))
+	return matrix.Random0100(rng, n)
+}
+
+func BenchmarkBBSolve12(b *testing.B) {
+	m := benchMatrix(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bb.Solve(m, bb.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBBSolve16Hard(b *testing.B) {
+	m := hardMatrix(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bb.Solve(m, bb.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPBBSolve16Hard4Workers(b *testing.B) {
+	m := hardMatrix(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pbb.Solve(m, pbb.DefaultOptions(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterSim16Nodes(b *testing.B) {
+	m := hardMatrix(14)
+	cfg := cluster.ClusterConfig(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Simulate(m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompactFind26(b *testing.B) {
+	m := benchMatrix(26)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := compact.Find(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompose26(b *testing.B) {
+	m := benchMatrix(26)
+	opt := evotree.DefaultOptions(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := evotree.Construct(m, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUPGMM26(b *testing.B) {
+	m := benchMatrix(26)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		upgma.UPGMM(m)
+	}
+}
+
+func BenchmarkNeighborJoining26(b *testing.B) {
+	m := benchMatrix(26)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nj.Build(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMST64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := matrix.RandomMetric(rng, 64, 50, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.MST(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeqsimGenerate26(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := seqsim.Params{Species: 26}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := seqsim.Generate(rng, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxMinPermutation64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := matrix.RandomMetric(rng, 64, 50, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MaxMinPermutation()
+	}
+}
+
+func BenchmarkNewickRoundTrip(b *testing.B) {
+	m := benchMatrix(26)
+	t, _ := upgma.UPGMM(m)
+	nw := t.Newick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := evotree.ParseNewick(nw, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"pact8", "par3", "grid24", "ablation-maxmin"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("missing %s in list:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "pact9", "-quick", "-workers", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "pact9") || !strings.Contains(out.String(), "species") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunCommaList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "pact9, ablation-ub", "-quick", "-workers", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ablation-ub") {
+		t.Fatalf("second figure missing:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "nope"}, &out); err == nil {
+		t.Fatal("want error for unknown figure")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Fatal("want error when no figure selected")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "pact9", "-quick", "-workers", "2", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "# pact9:") {
+		t.Fatalf("missing CSV header:\n%s", s)
+	}
+	if !strings.Contains(s, "species,with compact sets,without compact sets") {
+		t.Fatalf("missing CSV columns:\n%s", s)
+	}
+}

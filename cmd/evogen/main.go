@@ -1,0 +1,89 @@
+// Command evogen generates the workload matrices the experiments consume:
+// random metrics, clustered (near-ultrametric) matrices, exactly
+// ultrametric matrices, and the synthetic Human-Mitochondrial-DNA-like
+// instances of internal/seqsim. Output is the PHYLIP-like format read by
+// evotree and internal/matrix.Parse.
+//
+// Usage:
+//
+//	evogen -kind hmdna -n 26 -seed 7 > mt26.dist
+//	evogen -kind clustered -n 18 -count 3   # three matrices, blank-separated
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"evotree/internal/matrix"
+	"evotree/internal/seqsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "evogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("evogen", flag.ContinueOnError)
+	var (
+		kind   = fs.String("kind", "hmdna", "workload: hmdna|clustered|uniform|ultrametric|metric")
+		n      = fs.Int("n", 20, "species count")
+		seed   = fs.Int64("seed", 1, "RNG seed")
+		count  = fs.Int("count", 1, "matrices to emit")
+		seqLen = fs.Int("seqlen", 600, "hmdna: sites per sequence")
+		rate   = fs.Float64("rate", 0.4, "hmdna: substitutions per site per unit height")
+		lo     = fs.Int("lo", 50, "metric: minimum distance")
+		hi     = fs.Int("hi", 100, "metric: maximum distance")
+		eps    = fs.Float64("eps", 0.15, "clustered: relative noise on the hierarchy")
+		seqs   = fs.Bool("seqs", false, "hmdna: also print the sequences as FASTA comments")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("need at least 1 species")
+	}
+	if *count < 1 {
+		return fmt.Errorf("need at least 1 matrix")
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	for c := 0; c < *count; c++ {
+		if c > 0 {
+			fmt.Fprintln(stdout)
+		}
+		var m *matrix.Matrix
+		switch *kind {
+		case "hmdna":
+			ds, err := seqsim.Generate(rng, seqsim.Params{Species: *n, SeqLen: *seqLen, Rate: *rate})
+			if err != nil {
+				return err
+			}
+			m = ds.Matrix
+			if *seqs {
+				for i, s := range ds.Sequences {
+					fmt.Fprintf(stdout, "# >%s\n# %s\n", m.Name(i), s)
+				}
+			}
+		case "clustered":
+			m = matrix.PerturbedUltrametric(rng, *n, 100, *eps)
+		case "uniform":
+			m = matrix.Random0100(rng, *n)
+		case "ultrametric":
+			m = matrix.RandomUltrametric(rng, *n, 100)
+		case "metric":
+			m = matrix.RandomMetric(rng, *n, *lo, *hi)
+		default:
+			return fmt.Errorf("unknown kind %q", *kind)
+		}
+		if err := m.Write(stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"evotree/internal/matrix"
+)
+
+func gen(t *testing.T, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestKindsProduceValidMatrices(t *testing.T) {
+	for _, kind := range []string{"hmdna", "clustered", "uniform", "ultrametric", "metric"} {
+		out := gen(t, "-kind", kind, "-n", "8", "-seed", "3")
+		m, err := matrix.ParseString(out)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", kind, err, out)
+		}
+		if m.Len() != 8 {
+			t.Fatalf("%s: %d species", kind, m.Len())
+		}
+		if kind == "ultrametric" && !m.IsUltrametric() {
+			t.Fatalf("%s: not ultrametric", kind)
+		}
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	a := gen(t, "-kind", "hmdna", "-n", "6", "-seed", "9")
+	b := gen(t, "-kind", "hmdna", "-n", "6", "-seed", "9")
+	if a != b {
+		t.Fatal("same seed must reproduce the same matrix")
+	}
+	c := gen(t, "-kind", "hmdna", "-n", "6", "-seed", "10")
+	if a == c {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestCount(t *testing.T) {
+	out := gen(t, "-kind", "metric", "-n", "4", "-count", "3")
+	if got := strings.Count(out, "\n4\n") + 1; got != 3 {
+		// First matrix starts at offset 0; count headers instead.
+		headers := 0
+		for _, line := range strings.Split(out, "\n") {
+			if line == "4" {
+				headers++
+			}
+		}
+		if headers != 3 {
+			t.Fatalf("want 3 matrices, got %d\n%s", headers, out)
+		}
+	}
+}
+
+func TestSequencesFlag(t *testing.T) {
+	out := gen(t, "-kind", "hmdna", "-n", "3", "-seqs", "-seqlen", "40")
+	if !strings.Contains(out, "# >mt01") {
+		t.Fatalf("missing FASTA comments:\n%s", out)
+	}
+	// The matrix must still parse (comments are skipped).
+	if _, err := matrix.ParseString(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-kind", "nope"},
+		{"-n", "0"},
+		{"-count", "0"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("want error for %v", args)
+		}
+	}
+}

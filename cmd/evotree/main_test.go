@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `4
+a 0 2 8 8
+b 2 0 8 8
+c 8 8 0 4
+d 8 8 4 0
+`
+
+func runCLI(t *testing.T, stdin string, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, strings.NewReader(stdin), &out); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, out.String())
+	}
+	return out.String()
+}
+
+func TestAlgorithms(t *testing.T) {
+	for _, algo := range []string{"compact", "bb", "pbb", "upgma", "upgmm", "nj"} {
+		out := runCLI(t, sample, "-algo", algo)
+		if !strings.Contains(out, ";") {
+			t.Fatalf("%s: no Newick in output:\n%s", algo, out)
+		}
+		if algo != "nj" && !strings.Contains(out, "cost") {
+			t.Fatalf("%s: no cost line:\n%s", algo, out)
+		}
+	}
+}
+
+func TestExactAlgorithmsAgree(t *testing.T) {
+	bbOut := runCLI(t, sample, "-algo", "bb", "-q")
+	pbbOut := runCLI(t, sample, "-algo", "pbb", "-q", "-workers", "3")
+	// Same cost is guaranteed; same tree string is expected for this
+	// simple instance.
+	if bbOut == "" || pbbOut == "" {
+		t.Fatal("empty outputs")
+	}
+}
+
+func TestCompactSetsFlag(t *testing.T) {
+	out := runCLI(t, sample, "-algo", "compact", "-sets")
+	if !strings.Contains(out, "compact set: {a, b}") {
+		t.Fatalf("missing compact set {a,b}:\n%s", out)
+	}
+	if !strings.Contains(out, "compact set: {c, d}") {
+		t.Fatalf("missing compact set {c,d}:\n%s", out)
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	out := runCLI(t, sample, "-algo", "bb", "-stats")
+	if !strings.Contains(out, "expanded=") {
+		t.Fatalf("missing stats:\n%s", out)
+	}
+}
+
+func TestFileInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.dist")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "upgmm", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ";") {
+		t.Fatal("no tree from file input")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-algo", "nope"},
+		{"a", "b"}, // two positional args
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, strings.NewReader(sample), &out); err == nil {
+			t.Errorf("want error for %v", args)
+		}
+	}
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("garbage"), &out); err == nil {
+		t.Error("want error for bad matrix")
+	}
+	if err := run([]string{"/no/such/file.dist"}, strings.NewReader(""), &out); err == nil {
+		t.Error("want error for missing file")
+	}
+}
+
+func TestReductionFlag(t *testing.T) {
+	for _, red := range []string{"maximum", "minimum", "average"} {
+		out := runCLI(t, sample, "-algo", "compact", "-reduction", red)
+		if !strings.Contains(out, ";") {
+			t.Fatalf("%s: no tree", red)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-algo", "compact", "-reduction", "median"},
+		strings.NewReader(sample), &out); err == nil {
+		t.Fatal("want error for unknown reduction")
+	}
+}
+
+func TestThreeThreeFlags(t *testing.T) {
+	out := runCLI(t, sample, "-algo", "bb", "-33", "-33all", "-no-maxmin")
+	if !strings.Contains(out, ";") {
+		t.Fatal("no tree with 3-3 flags")
+	}
+}
+
+func TestAsciiFlag(t *testing.T) {
+	out := runCLI(t, sample, "-algo", "compact", "-ascii")
+	if !strings.Contains(out, "└─ ") {
+		t.Fatalf("missing dendrogram:\n%s", out)
+	}
+}
+
+func TestFastaInput(t *testing.T) {
+	fasta := ">x\nACGTACGT\n>y\nACGTACGA\n>z\nTTTTACGT\n"
+	out := runCLI(t, fasta, "-fasta", "-algo", "upgmm")
+	if !strings.Contains(out, "x") || !strings.Contains(out, ";") {
+		t.Fatalf("fasta input failed:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-fasta"}, strings.NewReader("not fasta"), &buf); err == nil {
+		t.Fatal("want error for malformed FASTA")
+	}
+}
+
+func TestTimeoutFlag(t *testing.T) {
+	// A zero-duration timeout context cancels immediately; the search
+	// must still return the incumbent and not claim completeness.
+	out := runCLI(t, sample, "-algo", "bb", "-timeout", "1ns")
+	if !strings.Contains(out, ";") {
+		t.Fatalf("no tree under timeout:\n%s", out)
+	}
+}
+
+func TestBootstrapFlag(t *testing.T) {
+	fasta := ">a\nAAAAAAAAAA\n>b\nAAAAAAAACC\n>c\nTTTTTTTTTT\n>d\nTTTTTTTTGG\n"
+	out := runCLI(t, fasta, "-fasta", "-bootstrap", "25", "-algo", "upgmm")
+	if !strings.Contains(out, "bootstrap: 25 replicates") {
+		t.Fatalf("missing bootstrap summary:\n%s", out)
+	}
+	if !strings.Contains(out, ")100:") {
+		t.Fatalf("clean split should reach 100%% support:\n%s", out)
+	}
+	// Bootstrap without FASTA is rejected.
+	var buf bytes.Buffer
+	if err := run([]string{"-bootstrap", "5"}, strings.NewReader(sample), &buf); err == nil {
+		t.Fatal("want error for -bootstrap without -fasta")
+	}
+	// Unsupported algorithm.
+	if err := run([]string{"-fasta", "-bootstrap", "5", "-algo", "nj"},
+		strings.NewReader(fasta), &buf); err == nil {
+		t.Fatal("want error for nj bootstrap")
+	}
+}

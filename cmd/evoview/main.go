@@ -1,0 +1,88 @@
+// Command evoview converts an ultrametric Newick tree (as produced by
+// evotree) between renderings: ASCII dendrogram, SVG, nested JSON, or
+// normalized Newick.
+//
+// Usage:
+//
+//	evotree -q matrix.dist | evoview -as ascii
+//	evoview -as svg tree.nwk > tree.svg
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"evotree/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "evoview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("evoview", flag.ContinueOnError)
+	var (
+		as  = fs.String("as", "ascii", "output form: ascii|svg|json|newick")
+		tol = fs.Float64("tol", 1e-6, "ultrametricity tolerance when parsing")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := stdin
+	if fs.NArg() > 1 {
+		return fmt.Errorf("at most one tree file, got %d args", fs.NArg())
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	src := strings.TrimSpace(string(data))
+	// Accept either a bare Newick string or evotree's commented output
+	// (the tree is the last non-comment line).
+	var newick string
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		newick = line
+	}
+	if newick == "" {
+		return fmt.Errorf("no Newick tree in input")
+	}
+	t, err := tree.ParseNewick(newick, *tol)
+	if err != nil {
+		return err
+	}
+	switch *as {
+	case "ascii":
+		_, err = io.WriteString(stdout, t.Ascii())
+	case "svg":
+		_, err = fmt.Fprintln(stdout, t.SVG())
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(t)
+	case "newick":
+		_, err = fmt.Fprintln(stdout, t.Newick())
+	default:
+		return fmt.Errorf("unknown output form %q (want ascii|svg|json|newick)", *as)
+	}
+	return err
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const nwk = "((a:1,b:1):3,(c:2,d:2):2);"
+
+func view(t *testing.T, stdin string, args ...string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, strings.NewReader(stdin), &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func TestForms(t *testing.T) {
+	ascii := view(t, nwk, "-as", "ascii")
+	if !strings.Contains(ascii, "└─ ") || !strings.Contains(ascii, "a") {
+		t.Fatalf("ascii:\n%s", ascii)
+	}
+	svg := view(t, nwk, "-as", "svg")
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatalf("svg:\n%s", svg)
+	}
+	js := view(t, nwk, "-as", "json")
+	if !strings.Contains(js, `"children"`) {
+		t.Fatalf("json:\n%s", js)
+	}
+	round := view(t, nwk, "-as", "newick")
+	if !strings.Contains(round, "a:1") || !strings.HasSuffix(strings.TrimSpace(round), ";") {
+		t.Fatalf("newick:\n%s", round)
+	}
+}
+
+func TestSkipsComments(t *testing.T) {
+	in := "# 4 species, tree cost 11\n" + nwk + "\n"
+	out := view(t, in, "-as", "newick")
+	if !strings.Contains(out, "a:1") {
+		t.Fatalf("comment skipping failed:\n%s", out)
+	}
+}
+
+func TestFileInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.nwk")
+	if err := os.WriteFile(path, []byte(nwk), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-as", "ascii", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "d") {
+		t.Fatal("file input failed")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, tc := range []struct {
+		stdin string
+		args  []string
+	}{
+		{"", nil},                     // empty input
+		{"(((", nil},                  // malformed newick
+		{nwk, []string{"-as", "png"}}, // unknown form
+		{"(a:1,b:2);", nil},           // not ultrametric
+		{nwk, []string{"x", "y"}},     // two files
+	} {
+		if err := run(tc.args, strings.NewReader(tc.stdin), &out); err == nil {
+			t.Errorf("want error for %v / %q", tc.args, tc.stdin)
+		}
+	}
+	if err := run([]string{"/no/such.nwk"}, strings.NewReader(""), &out); err == nil {
+		t.Error("want error for missing file")
+	}
+}

@@ -1,0 +1,45 @@
+// Command evoweb serves the evolutionary-tree construction system over
+// HTTP — the project's "user-friendly web interface". It exposes a small
+// HTML form at / and a JSON API at POST /api/tree.
+//
+// Usage:
+//
+//	evoweb -addr :8080 -max-species 32 -workers 8
+//	curl -s localhost:8080/api/tree -H 'Content-Type: application/json' \
+//	     -d '{"matrix":"4\na 0 2 8 8\nb 2 0 8 8\nc 8 8 0 4\nd 8 8 4 0\n"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"evotree/internal/web"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		maxSpecies = flag.Int("max-species", 32, "largest accepted input")
+		maxNodes   = flag.Int64("max-nodes", 500_000, "branch-and-bound node cap per request")
+		workers    = flag.Int("workers", 4, "parallel workers per construction")
+	)
+	flag.Parse()
+
+	s := web.NewServer()
+	s.MaxSpecies = *maxSpecies
+	s.MaxNodes = *maxNodes
+	s.Workers = *workers
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      120 * time.Second,
+	}
+	fmt.Printf("evoweb listening on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,210 @@
+// Package evotree constructs evolutionary trees from distance matrices.
+//
+// It is a Go implementation of the technique of Yu, Chang, Yang, Zhou, Lin
+// and Tang, "A Fast Technique for Constructing Evolutionary Tree with the
+// Application of Compact Sets" (PaCT 2005, LNCS 3606) and of the parallel
+// branch-and-bound system it builds on (Yu, Zhou, Lin, Tang, HPC-Asia
+// 2005):
+//
+//   - exact Minimum Ultrametric Tree (MUT) construction by
+//     branch-and-bound (Algorithm BBU of Wu, Chao and Tang), sequential
+//     and parallel (master/slave over goroutines with two-level
+//     global/local pool load balancing);
+//   - the compact-set decomposition that splits a distance matrix into
+//     several small matrices whose subtrees are built independently and
+//     merged without losing the relations among species;
+//   - the UPGMA/UPGMM and neighbor-joining heuristics, a molecular-clock
+//     DNA workload simulator, and a deterministic virtual-cluster model
+//     for reproducing the papers' speedup experiments.
+//
+// This package is a thin facade over the implementation packages; the
+// types it returns are shared with them. Start with ParseMatrix or one of
+// the generators, then Construct:
+//
+//	m, _ := evotree.ParseMatrixString(input)
+//	res, _ := evotree.Construct(m, evotree.DefaultOptions(8))
+//	fmt.Println(res.Tree.Newick(), res.Cost)
+package evotree
+
+import (
+	"io"
+	"math/rand"
+
+	"evotree/internal/bb"
+	"evotree/internal/bootstrap"
+	"evotree/internal/compact"
+	"evotree/internal/core"
+	"evotree/internal/matrix"
+	"evotree/internal/nj"
+	"evotree/internal/pbb"
+	"evotree/internal/seqsim"
+	"evotree/internal/tree"
+	"evotree/internal/upgma"
+)
+
+// Core data types.
+type (
+	// Matrix is a symmetric distance matrix over named species.
+	Matrix = matrix.Matrix
+	// Tree is a rooted, edge-weighted, leaf-labeled ultrametric tree.
+	Tree = tree.Tree
+	// Options configure Construct; see DefaultOptions.
+	Options = core.Options
+	// Result is the outcome of Construct.
+	Result = core.Result
+	// CompactSet is one detected compact set (sorted species indices).
+	CompactSet = compact.Set
+	// Reduction selects the group-distance rule for the small matrices.
+	Reduction = compact.Reduction
+	// SearchOptions configure the underlying branch-and-bound.
+	SearchOptions = bb.Options
+	// SearchResult is the outcome of an exact search.
+	SearchResult = bb.Result
+	// SearchStats count the work a search performed.
+	SearchStats = bb.Stats
+	// MtDNAParams configure the molecular-clock workload simulator.
+	MtDNAParams = seqsim.Params
+	// MtDNADataset is one simulated mtDNA instance.
+	MtDNADataset = seqsim.Dataset
+)
+
+// Reduction rules for the decomposition's small matrices. The paper
+// evaluates MaximumReduction, the only rule that keeps the merged tree
+// feasible (d_T ≥ M).
+const (
+	MaximumReduction = compact.Maximum
+	MinimumReduction = compact.Minimum
+	AverageReduction = compact.Average
+)
+
+// NewMatrix returns an n×n zero matrix with synthetic species names.
+func NewMatrix(n int) *Matrix { return matrix.New(n) }
+
+// NewMatrixWithNames returns a zero matrix over the given species names.
+func NewMatrixWithNames(names []string) (*Matrix, error) {
+	return matrix.NewWithNames(names)
+}
+
+// ParseMatrix reads a matrix in the PHYLIP-like text format (header line
+// with the species count, then one "name d1 ... dn" row per species).
+func ParseMatrix(r io.Reader) (*Matrix, error) { return matrix.Parse(r) }
+
+// ParseMatrixString is ParseMatrix over a string.
+func ParseMatrixString(s string) (*Matrix, error) { return matrix.ParseString(s) }
+
+// DefaultOptions is the paper's configuration: compact-set decomposition
+// on, maximum matrices, exact branch-and-bound per subproblem, with the
+// given number of parallel workers.
+func DefaultOptions(workers int) Options { return core.DefaultOptions(workers) }
+
+// Construct builds a (near-optimal, relation-preserving) ultrametric tree
+// for m using the compact-set technique, or the plain exact search when
+// opt.UseCompactSets is false.
+func Construct(m *Matrix, opt Options) (*Result, error) { return core.Construct(m, opt) }
+
+// SolveExact runs the sequential exact branch-and-bound (Algorithm BBU)
+// and returns a Minimum Ultrametric Tree.
+func SolveExact(m *Matrix, opt SearchOptions) (*SearchResult, error) {
+	return bb.Solve(m, opt)
+}
+
+// DefaultSearchOptions enables the max–min relabeling and keeps the
+// (lossy) 3-3 filters off, making the search exact.
+func DefaultSearchOptions() SearchOptions { return bb.DefaultOptions() }
+
+// SolveParallel runs the master/slave parallel branch-and-bound with the
+// given number of worker goroutines. The returned cost always equals the
+// sequential optimum.
+func SolveParallel(m *Matrix, workers int) (*SearchResult, error) {
+	res, err := pbb.Solve(m, pbb.DefaultOptions(workers))
+	if err != nil {
+		return nil, err
+	}
+	return &res.Result, nil
+}
+
+// CompactSets returns every non-trivial compact set of m: the subsets
+// whose largest internal distance is smaller than every distance leaving
+// the subset. They form a laminar family and appear as clades of any
+// relation-faithful tree.
+func CompactSets(m *Matrix) ([]CompactSet, error) { return compact.Find(m) }
+
+// RelationPreserved verifies the paper's headline guarantee on a tree:
+// every given compact set appears as a clade. It returns an error naming
+// the first violated set.
+func RelationPreserved(t *Tree, sets []CompactSet) error {
+	return core.RelationPreserved(t, sets)
+}
+
+// UPGMM builds the maximum-linkage (complete-linkage) heuristic tree —
+// always a feasible ultrametric tree, hence a valid upper bound for the
+// MUT problem — and returns it with its cost.
+func UPGMM(m *Matrix) (*Tree, float64) { return upgma.UPGMM(m) }
+
+// UPGMA builds the classic average-linkage heuristic tree.
+func UPGMA(m *Matrix) *Tree { return upgma.UPGMA(m) }
+
+// NeighborJoining runs the Saitou–Nei baseline and returns the additive
+// tree distance function it implies: dist(i, j) is the path length between
+// species i and j.
+func NeighborJoining(m *Matrix) (dist func(i, j int) float64, err error) {
+	t, err := nj.Build(m)
+	if err != nil {
+		return nil, err
+	}
+	return t.PathDist, nil
+}
+
+// GenerateMtDNA simulates one mtDNA-like dataset: DNA sequences evolved
+// under a Jukes–Cantor molecular clock along a random coalescent tree,
+// with the pairwise Hamming-distance matrix (an integer metric).
+func GenerateMtDNA(rng *rand.Rand, p MtDNAParams) (*MtDNADataset, error) {
+	return seqsim.Generate(rng, p)
+}
+
+// RandomMatrix returns an n-species metric with integer distances in
+// [lo, hi] (repaired by metric closure when hi > 2·lo).
+func RandomMatrix(rng *rand.Rand, n, lo, hi int) *Matrix {
+	return matrix.RandomMetric(rng, n, lo, hi)
+}
+
+// CountTopologies returns A(n), the number of rooted binary leaf-labeled
+// topologies over n species — the size of the exact search space.
+func CountTopologies(n int) float64 { return bb.CountTopologies(n) }
+
+// ParseNewick parses a binary, ultrametric Newick string (with branch
+// lengths) into a Tree; tol bounds the acceptable deviation among
+// root-to-leaf path lengths.
+func ParseNewick(s string, tol float64) (*Tree, error) { return tree.ParseNewick(s, tol) }
+
+// Sequence I/O and bootstrap analysis.
+type (
+	// FastaRecord is one named, aligned DNA sequence.
+	FastaRecord = seqsim.Record
+	// BootstrapOptions configure Bootstrap.
+	BootstrapOptions = bootstrap.Options
+	// BootstrapResult carries the reference tree and per-clade support.
+	BootstrapResult = bootstrap.Result
+)
+
+// ReadFASTA parses aligned DNA sequences in FASTA format.
+func ReadFASTA(r io.Reader) ([]FastaRecord, error) { return seqsim.ReadFASTA(r) }
+
+// WriteFASTA writes records in FASTA format.
+func WriteFASTA(w io.Writer, records []FastaRecord) error {
+	return seqsim.WriteFASTA(w, records)
+}
+
+// MatrixFromSequences builds the Hamming distance matrix over an
+// alignment (sites with N in either sequence are skipped).
+func MatrixFromSequences(records []FastaRecord) (*Matrix, error) {
+	return seqsim.MatrixFromSequences(records)
+}
+
+// Bootstrap resamples alignment columns, rebuilds a tree per replicate
+// with build, and annotates the reference tree's clades with support
+// fractions (Felsenstein's bootstrap).
+func Bootstrap(records []FastaRecord, build func(*Matrix) (*Tree, error),
+	opt BootstrapOptions) (*BootstrapResult, error) {
+	return bootstrap.Run(records, build, opt)
+}

@@ -1,0 +1,124 @@
+package evotree_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"evotree"
+)
+
+const apeMatrix = `6
+chimp   0 3 1 6 4.5 6.2
+bonobo  3 0 3.5 6.4 4.6 6.5
+human   1 3.5 0 6.6 4 6.7
+gorilla 6 6.4 6.6 0 5.5 2
+orang   4.5 4.6 4 5.5 0 5
+gibbon  6.2 6.5 6.7 2 5 0
+`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	m, err := evotree.ParseMatrixString(apeMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact search.
+	exact, err := evotree.SolveExact(m, evotree.DefaultSearchOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact.Optimal || exact.Cost <= 0 {
+		t.Fatalf("exact: %+v", exact)
+	}
+	// Parallel search agrees.
+	par, err := evotree.SolveParallel(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(par.Cost-exact.Cost) > 1e-9 {
+		t.Fatalf("parallel %g, exact %g", par.Cost, exact.Cost)
+	}
+	// Decomposition preserves the compact sets as clades and stays
+	// feasible.
+	res, err := evotree.Construct(m, evotree.DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost < exact.Cost-1e-9 {
+		t.Fatalf("decomposition %g beats exact %g", res.Cost, exact.Cost)
+	}
+	if err := evotree.RelationPreserved(res.Tree, res.CompactSets); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tree.Feasible(m, 1e-9) {
+		t.Fatal("decomposed tree infeasible")
+	}
+	// Newick round trip through the facade.
+	nw := res.Tree.Newick()
+	back, err := evotree.ParseNewick(nw, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.LeafCount() != 6 {
+		t.Fatalf("round trip lost leaves: %d", back.LeafCount())
+	}
+	if !strings.Contains(nw, "human") {
+		t.Fatalf("species names missing from %s", nw)
+	}
+}
+
+func TestFacadeHeuristicsAndBaselines(t *testing.T) {
+	m, err := evotree.ParseMatrixString(apeMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upgmm, cost := evotree.UPGMM(m)
+	if !upgmm.Feasible(m, 1e-9) || cost != upgmm.Cost() {
+		t.Fatal("UPGMM must be feasible with matching cost")
+	}
+	upgma := evotree.UPGMA(m)
+	if upgma.LeafCount() != 6 {
+		t.Fatal("UPGMA leaf count")
+	}
+	dist, err := evotree.NeighborJoining(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dist(0, 2); d <= 0 {
+		t.Fatalf("NJ distance %g", d)
+	}
+	sets, err := evotree.CompactSets(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) == 0 {
+		t.Fatal("expected compact sets in the ape matrix")
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds, err := evotree.GenerateMtDNA(rng, evotree.MtDNAParams{Species: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Matrix.Len() != 9 || !ds.Matrix.IsMetric() {
+		t.Fatal("mtDNA matrix invalid")
+	}
+	m := evotree.RandomMatrix(rng, 7, 50, 100)
+	if m.Len() != 7 || !m.IsMetric() {
+		t.Fatal("random matrix invalid")
+	}
+	if a := evotree.CountTopologies(5); a != 105 {
+		t.Fatalf("A(5) = %g", a)
+	}
+	nm := evotree.NewMatrix(3)
+	nm.Set(0, 1, 2)
+	if nm.At(1, 0) != 2 {
+		t.Fatal("NewMatrix broken")
+	}
+	if _, err := evotree.NewMatrixWithNames([]string{"a", "a"}); err == nil {
+		t.Fatal("want duplicate-name error")
+	}
+}

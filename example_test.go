@@ -1,0 +1,70 @@
+package evotree_test
+
+import (
+	"fmt"
+
+	"evotree"
+)
+
+// Two tight pairs far apart: the compact sets are {a,b} and {c,d}.
+const exampleMatrix = `4
+a 0 2 8 8
+b 2 0 8 8
+c 8 8 0 4
+d 8 8 4 0
+`
+
+func ExampleConstruct() {
+	m, _ := evotree.ParseMatrixString(exampleMatrix)
+	res, _ := evotree.Construct(m, evotree.DefaultOptions(2))
+	fmt.Println(res.Tree.Newick())
+	fmt.Println("cost:", res.Cost)
+	fmt.Println("compact sets:", res.CompactSets)
+	// Output:
+	// ((a:1,b:1):3,(c:2,d:2):2);
+	// cost: 11
+	// compact sets: [[0 1] [2 3]]
+}
+
+func ExampleSolveExact() {
+	m, _ := evotree.ParseMatrixString(exampleMatrix)
+	res, _ := evotree.SolveExact(m, evotree.DefaultSearchOptions())
+	fmt.Println("optimal:", res.Optimal)
+	fmt.Println("cost:", res.Cost)
+	// Output:
+	// optimal: true
+	// cost: 11
+}
+
+func ExampleUPGMM() {
+	m, _ := evotree.ParseMatrixString(exampleMatrix)
+	t, cost := evotree.UPGMM(m)
+	fmt.Println("feasible:", t.Feasible(m, 1e-9))
+	fmt.Println("cost:", cost)
+	// Output:
+	// feasible: true
+	// cost: 11
+}
+
+func ExampleCompactSets() {
+	m, _ := evotree.ParseMatrixString(exampleMatrix)
+	sets, _ := evotree.CompactSets(m)
+	for _, s := range sets {
+		names := make([]string, len(s))
+		for i, v := range s {
+			names[i] = m.Name(v)
+		}
+		fmt.Println(names)
+	}
+	// Output:
+	// [a b]
+	// [c d]
+}
+
+func ExampleCountTopologies() {
+	fmt.Println(evotree.CountTopologies(5))
+	fmt.Println(evotree.CountTopologies(10))
+	// Output:
+	// 105
+	// 3.4459425e+07
+}

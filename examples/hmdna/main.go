@@ -1,0 +1,83 @@
+// hmdna: the paper's mtDNA scenario end to end — simulate mitochondrial
+// DNA under a molecular clock, build the distance matrix, construct the
+// tree with and without compact sets, and check how well the true
+// phylogeny is recovered.
+//
+//	go run ./examples/hmdna [-n 26] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"evotree/internal/core"
+	"evotree/internal/seqsim"
+	"evotree/internal/tree"
+)
+
+func main() {
+	n := flag.Int("n", 26, "species")
+	seed := flag.Int64("seed", 7, "RNG seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	ds, err := seqsim.Generate(rng, seqsim.Params{Species: *n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %d mtDNA sequences of %d sites\n", *n, len(ds.Sequences[0]))
+	fmt.Printf("distance range: %.0f .. %.0f substitutions\n",
+		ds.Matrix.MinOff(), ds.Matrix.MaxOff())
+
+	with, err := core.Construct(ds.Matrix, core.DefaultOptions(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := core.DefaultOptions(4)
+	opt.UseCompactSets = false
+	opt.BB.MaxNodes = 2_000_000
+	without, err := core.Construct(ds.Matrix, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-22s %12s %12s %14s\n", "", "cost", "time", "BBT expanded")
+	fmt.Printf("%-22s %12.1f %12s %14d\n", "with compact sets",
+		with.Cost, with.Elapsed.Round(1000).String(), with.Stats.Expanded)
+	fmt.Printf("%-22s %12.1f %12s %14d\n", "without compact sets",
+		without.Cost, without.Elapsed.Round(1000).String(), without.Stats.Expanded)
+	fmt.Printf("cost gap: %.2f%% (paper: ≤ 1.5%% on 26 mtDNA species)\n",
+		100*core.CostGap(with.Cost, without.Cost))
+	fmt.Printf("compact sets found: %d\n", len(with.CompactSets))
+
+	// How faithful is the reconstruction to the true simulated phylogeny?
+	// Count triple disagreements between the built tree and the true tree.
+	fmt.Printf("\ntriple agreement with the true phylogeny:\n")
+	fmt.Printf("  with compact sets:    %.1f%%\n", 100*tripleAgreement(with.Tree, ds.TrueTree))
+	fmt.Printf("  without compact sets: %.1f%%\n", 100*tripleAgreement(without.Tree, ds.TrueTree))
+	fmt.Printf("\nNewick (with compact sets):\n%s\n", with.Tree.Newick())
+}
+
+// tripleAgreement is the fraction of species triples on which two trees
+// agree about which pair is closest.
+func tripleAgreement(a, b *tree.Tree) float64 {
+	leaves := a.Leaves()
+	agree, total := 0, 0
+	for x := 0; x < len(leaves); x++ {
+		for y := x + 1; y < len(leaves); y++ {
+			for z := y + 1; z < len(leaves); z++ {
+				i, j, k := leaves[x], leaves[y], leaves[z]
+				if a.TreeTriple(i, j, k) == b.TreeTriple(i, j, k) {
+					agree++
+				}
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(agree) / float64(total)
+}

@@ -1,0 +1,3 @@
+module evotree
+
+go 1.22

@@ -1,0 +1,101 @@
+package bb
+
+import (
+	"container/heap"
+	"math"
+
+	"evotree/internal/tree"
+)
+
+// Best-first search: an alternative exploration order to the paper's DFS.
+// The frontier is a priority queue keyed by lower bound, so the node most
+// likely to lead to the optimum is always expanded next. Best-first
+// expands the theoretically minimal number of nodes (no node with
+// LB > optimum is ever expanded, versus DFS which may descend into doomed
+// subtrees before the bound tightens), at the price of a frontier that can
+// grow exponentially large in memory. The ablation-search experiment
+// quantifies the trade on this implementation.
+
+// nodeHeap is a min-heap of PNodes by LB (ties: deeper node first, which
+// drives toward complete solutions and keeps the heap smaller).
+type nodeHeap []*PNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].LB != h[j].LB {
+		return h[i].LB < h[j].LB
+	}
+	return h[i].K > h[j].K
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*PNode)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return v
+}
+
+// SolveBestFirst runs the branch-and-bound with a best-first frontier.
+// Options are honored as in SolveSequential; MaxNodes doubles as a memory
+// guard since the frontier can grow large.
+func (p *Problem) SolveBestFirst(opt Options) *Result {
+	res := &Result{}
+	ubTree, ub := p.InitialUpperBound()
+	if opt.NoInitialUB {
+		ub, ubTree = math.Inf(1), nil
+	}
+	if opt.InitialUB > 0 && opt.InitialUB < ub {
+		ub = opt.InitialUB
+		ubTree = nil
+	}
+	res.Tree, res.Cost = ubTree, ub
+	if opt.CollectAll && ubTree != nil {
+		res.Trees = []*tree.Tree{ubTree}
+	}
+	res.Optimal = true
+
+	frontier := &nodeHeap{p.Root()}
+	heap.Init(frontier)
+	for frontier.Len() > 0 {
+		if frontier.Len() > res.Stats.MaxPoolLen {
+			res.Stats.MaxPoolLen = frontier.Len()
+		}
+		v := heap.Pop(frontier).(*PNode)
+		if prune(v.LB, ub, opt.CollectAll) {
+			// The heap is LB-ordered: once the best node prunes, every
+			// remaining node prunes too.
+			res.Stats.PrunedLB += int64(frontier.Len() + 1)
+			break
+		}
+		if opt.MaxNodes > 0 && res.Stats.Expanded >= opt.MaxNodes {
+			res.Optimal = false
+			break
+		}
+		if opt.Ctx != nil && res.Stats.Expanded%1024 == 0 {
+			select {
+			case <-opt.Ctx.Done():
+				res.Optimal = false
+				return res
+			default:
+			}
+		}
+		res.Stats.Expanded++
+		children := p.Expand(v, opt.Constraints)
+		res.Stats.Generated += int64(len(children))
+		for _, ch := range children {
+			if prune(ch.LB, ub, opt.CollectAll) {
+				res.Stats.PrunedLB++
+				continue
+			}
+			if ch.Complete(p) {
+				ub = p.recordSolution(ch, ub, opt, res)
+				continue
+			}
+			heap.Push(frontier, ch)
+		}
+	}
+	return res
+}

@@ -1,0 +1,93 @@
+package bb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"evotree/internal/matrix"
+)
+
+// TestBranchRuleEnumeratesAllTopologies verifies that the insertion branch
+// rule generates exactly A(n) = (2n−3)!! complete topologies, each exactly
+// once — the completeness property the exactness of BBU rests on.
+func TestBranchRuleEnumeratesAllTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for _, n := range []int{2, 3, 4, 5, 6, 7} {
+		m := matrix.RandomMetric(rng, n, 50, 100)
+		p, err := NewProblem(m, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]int{}
+		var rec func(v *PNode)
+		rec = func(v *PNode) {
+			if v.Complete(p) {
+				seen[topologyKey(v.Tree(p))]++
+				return
+			}
+			for _, ch := range p.Expand(v, Constraints{}) {
+				rec(ch)
+			}
+		}
+		rec(p.Root())
+		want := int(CountTopologies(n))
+		if len(seen) != want {
+			t.Fatalf("n=%d: %d distinct topologies, want %d", n, len(seen), want)
+		}
+		for k, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: topology %s generated %d times", n, k, c)
+			}
+		}
+	}
+}
+
+// topologyKey canonicalizes a leaf-labeled topology (ignoring heights and
+// child order).
+func topologyKey(tr interface {
+	Leaves() []int
+}) string {
+	// Use the clade set plus the leaf set as the canonical form.
+	tt, ok := tr.(interface {
+		Leaves() []int
+		CladeSet() map[string]bool
+	})
+	if !ok {
+		panic("bb: topologyKey needs CladeSet")
+	}
+	clades := make([]string, 0, 8)
+	for c := range tt.CladeSet() {
+		clades = append(clades, c)
+	}
+	sort.Strings(clades)
+	leaves := append([]int(nil), tt.Leaves()...)
+	sort.Ints(leaves)
+	return fmt.Sprintf("%v|%s", leaves, strings.Join(clades, ";"))
+}
+
+// TestExpandPositionsDistinct checks that all children of one expansion
+// are structurally distinct topologies.
+func TestExpandPositionsDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	m := matrix.RandomMetric(rng, 7, 50, 100)
+	p, err := NewProblem(m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.Root()
+	for !v.Complete(p) {
+		children := p.Expand(v, Constraints{})
+		keys := map[string]bool{}
+		for _, ch := range children {
+			k := topologyKey(ch.Tree(p))
+			if keys[k] {
+				t.Fatalf("duplicate child topology at K=%d", v.K)
+			}
+			keys[k] = true
+		}
+		v = children[len(children)-1]
+	}
+}

@@ -1,0 +1,110 @@
+package bb
+
+import "sort"
+
+// Constraints control the optional search-space reductions.
+type Constraints struct {
+	// ThreeThree applies the 3-3 relationship when the third species is
+	// inserted (Step 4 of the parallel algorithm): only the topology
+	// consistent with the close pair of the triple {1,2,3} is generated.
+	ThreeThree bool
+	// ThreeThreeAll extends the filter to every insertion (the companion
+	// paper's stated future work): a child is kept only if placing the new
+	// species introduces no new 3-3 contradiction against the matrix. If
+	// the filter would eliminate every child the unfiltered set is used,
+	// so the search never dead-ends.
+	ThreeThreeAll bool
+}
+
+// Expand generates the children of v in the BBT by inserting permuted
+// species v.K at every position, applying the configured 3-3 constraints,
+// and returns them sorted by ascending lower bound. v must not be complete.
+func (p *Problem) Expand(v *PNode, c Constraints) []*PNode {
+	s := v.K
+	if s >= p.n {
+		return nil
+	}
+	positions := v.Positions()
+	allowed := make([]int, 0, positions)
+	if c.ThreeThree && s == 2 {
+		allowed = p.thirdSpeciesPositions(v, allowed)
+	} else {
+		for pos := 0; pos < positions; pos++ {
+			allowed = append(allowed, pos)
+		}
+	}
+	children := make([]*PNode, 0, len(allowed))
+	for _, pos := range allowed {
+		children = append(children, p.insert(v, s, pos))
+	}
+	if c.ThreeThreeAll && s >= 2 {
+		filtered := children[:0:len(children)]
+		for _, ch := range children {
+			if p.consistentInsertion(ch, s) {
+				filtered = append(filtered, ch)
+			}
+		}
+		if len(filtered) > 0 {
+			children = filtered
+		}
+	}
+	sort.SliceStable(children, func(a, b int) bool { return children[a].LB < children[b].LB })
+	return children
+}
+
+// thirdSpeciesPositions selects insertion positions for species 2 that are
+// consistent with the matrix relation on the triple {0, 1, 2}. Position 0
+// makes 0 and 2 siblings, position 1 makes 1 and 2 siblings, position 2
+// (above the root) keeps 0 and 1 siblings.
+func (p *Problem) thirdSpeciesPositions(v *PNode, dst []int) []int {
+	d01, d02, d12 := p.d[0][1], p.d[0][2], p.d[1][2]
+	switch {
+	case d01 < d02 && d01 < d12:
+		return append(dst, 2)
+	case d02 < d01 && d02 < d12:
+		return append(dst, 0)
+	case d12 < d01 && d12 < d02:
+		return append(dst, 1)
+	}
+	return append(dst, 0, 1, 2)
+}
+
+// consistentInsertion reports whether the triples involving the newly
+// placed species s are 3-3 consistent with the matrix in child ch: whenever
+// the matrix declares a strict close pair among {s, j, k}, the topology
+// must not present a different pair as strictly closer.
+func (p *Problem) consistentInsertion(ch *PNode, s int) bool {
+	for j := 0; j < s; j++ {
+		for k := j + 1; k < s; k++ {
+			dsj, dsk, djk := p.d[s][j], p.d[s][k], p.d[j][k]
+			hsj := ch.lcaHeight(s, j)
+			hsk := ch.lcaHeight(s, k)
+			hjk := ch.lcaHeight(j, k)
+			var want int // 0 none, 1 (s,j), 2 (s,k), 3 (j,k)
+			switch {
+			case dsj < dsk && dsj < djk:
+				want = 1
+			case dsk < dsj && dsk < djk:
+				want = 2
+			case djk < dsj && djk < dsk:
+				want = 3
+			}
+			if want == 0 {
+				continue
+			}
+			var got int
+			switch {
+			case hsj < hsk && hsj < hjk:
+				got = 1
+			case hsk < hsj && hsk < hjk:
+				got = 2
+			case hjk < hsj && hjk < hsk:
+				got = 3
+			}
+			if got != 0 && got != want {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package bb
+
+import (
+	"evotree/internal/tree"
+)
+
+// PNode is one node of the branch-and-bound tree (BBT): a partial topology
+// over the first K permuted species together with its minimal ultrametric
+// realization (heights), its cost, and its lower bound. PNodes are
+// self-contained values so pools may move them freely between workers.
+type PNode struct {
+	K    int     // number of species placed (permuted ids 0..K-1)
+	Cost float64 // ω of the minimal UT realizing this partial topology
+	LB   float64 // Cost + tail(K); monotone along any root-to-leaf BBT path
+
+	// Flat binary-tree storage; node ids index these slices.
+	parent  []int32
+	left    []int32
+	right   []int32
+	species []int32 // permuted species id for leaves, -1 for internal
+	height  []float64
+	mask    []uint64 // set of permuted species under each node
+	leafID  []int32  // permuted species id -> node id
+	root    int32
+	sumInt  float64 // Σ height over internal nodes (cost = sumInt + h(root))
+}
+
+// Root returns the BBT root: the unique topology on permuted species 0, 1
+// (Step 2 of BBU).
+func (p *Problem) Root() *PNode {
+	h := p.d[0][1] / 2
+	v := &PNode{
+		K:       2,
+		parent:  []int32{2, 2, -1},
+		left:    []int32{-1, -1, 0},
+		right:   []int32{-1, -1, 1},
+		species: []int32{0, 1, -1},
+		height:  []float64{0, 0, h},
+		mask:    []uint64{1, 2, 3},
+		leafID:  []int32{0, 1},
+		root:    2,
+		sumInt:  h,
+	}
+	v.Cost = v.sumInt + h
+	v.LB = v.Cost + p.tail[2]
+	return v
+}
+
+// Positions returns the number of children Expand will consider for v: one
+// per edge of the partial topology plus one above the root, i.e. 2K−1.
+func (v *PNode) Positions() int { return 2*v.K - 1 }
+
+// Complete reports whether v places all species of p.
+func (v *PNode) Complete(p *Problem) bool { return v.K == p.n }
+
+// clone returns a deep copy with room for one more insertion (two more
+// nodes).
+func (v *PNode) clone() *PNode {
+	nn := len(v.species)
+	c := &PNode{
+		K: v.K, Cost: v.Cost, LB: v.LB,
+		parent:  append(make([]int32, 0, nn+2), v.parent...),
+		left:    append(make([]int32, 0, nn+2), v.left...),
+		right:   append(make([]int32, 0, nn+2), v.right...),
+		species: append(make([]int32, 0, nn+2), v.species...),
+		height:  append(make([]float64, 0, nn+2), v.height...),
+		mask:    append(make([]uint64, 0, nn+2), v.mask...),
+		leafID:  append(make([]int32, 0, v.K+1), v.leafID...),
+		root:    v.root,
+		sumInt:  v.sumInt,
+	}
+	return c
+}
+
+// insert returns a copy of v with permuted species s added. pos selects the
+// insertion position: pos in [0, 2K−2) indexes an edge (the parent edge of
+// node pos, skipping the root, in node-id order), and pos == 2K−2 inserts
+// above the root. The new node's Cost and LB are set.
+func (p *Problem) insert(v *PNode, s, pos int) *PNode {
+	c := v.clone()
+	sb := uint64(1) << uint(s)
+	leaf := int32(len(c.species))
+	c.species = append(c.species, int32(s))
+	c.parent = append(c.parent, -1)
+	c.left = append(c.left, -1)
+	c.right = append(c.right, -1)
+	c.height = append(c.height, 0)
+	c.mask = append(c.mask, sb)
+	c.leafID = append(c.leafID, leaf)
+
+	in := int32(len(c.species)) // the new internal node
+	c.species = append(c.species, -1)
+	c.parent = append(c.parent, -1)
+	c.left = append(c.left, -1)
+	c.right = append(c.right, -1)
+	c.height = append(c.height, 0)
+	c.mask = append(c.mask, 0)
+
+	if pos == 2*v.K-2 {
+		// Insert above the root: in becomes the new root with children
+		// (old root, leaf).
+		old := c.root
+		h := p.maxDistToMask(s, c.mask[old]) / 2
+		if c.height[old] > h {
+			h = c.height[old]
+		}
+		c.left[in], c.right[in] = old, leaf
+		c.parent[old], c.parent[leaf] = in, in
+		c.mask[in] = c.mask[old] | sb
+		c.height[in] = h
+		c.root = in
+		c.sumInt += h
+	} else {
+		// Insert on the parent edge of node e (skipping the root in
+		// node-id order).
+		e := int32(pos)
+		if e >= c.root {
+			e++ // the root has no parent edge
+		}
+		par := c.parent[e]
+		h := p.maxDistToMask(s, c.mask[e]) / 2
+		if c.height[e] > h {
+			h = c.height[e]
+		}
+		c.left[in], c.right[in] = e, leaf
+		c.parent[e], c.parent[leaf] = in, in
+		c.parent[in] = par
+		if c.left[par] == e {
+			c.left[par] = in
+		} else {
+			c.right[par] = in
+		}
+		c.mask[in] = c.mask[e] | sb
+		c.height[in] = h
+		c.sumInt += h
+		// Propagate the new species upward: each ancestor may need to
+		// raise its height for the new cross pairs (s, j) with j under
+		// its other child, and must absorb any height increase below.
+		child := in
+		for u := par; u != -1; u = c.parent[u] {
+			other := c.left[u]
+			if other == child {
+				other = c.right[u]
+			}
+			h := c.height[u]
+			if hc := c.height[child]; hc > h {
+				h = hc
+			}
+			if hx := p.maxDistToMask(s, c.mask[other]) / 2; hx > h {
+				h = hx
+			}
+			c.sumInt += h - c.height[u]
+			c.height[u] = h
+			c.mask[u] |= sb
+			child = u
+		}
+	}
+	c.K = v.K + 1
+	c.Cost = c.sumInt + c.height[c.root]
+	c.LB = c.Cost + p.tail[c.K]
+	return c
+}
+
+// Tree materializes the partial topology as a tree.Tree labeled with the
+// ORIGINAL species indices (undoing the max–min permutation) and carrying
+// the original species names.
+func (v *PNode) Tree(p *Problem) *tree.Tree {
+	t := &tree.Tree{Nodes: make([]tree.Node, len(v.species)), Root: int(v.root)}
+	for i := range v.species {
+		sp := int(v.species[i])
+		if sp >= 0 {
+			sp = p.perm[sp]
+		}
+		t.Nodes[i] = tree.Node{
+			Species: sp,
+			Left:    int(v.left[i]),
+			Right:   int(v.right[i]),
+			Parent:  int(v.parent[i]),
+			Height:  v.height[i],
+		}
+	}
+	t.SetNames(p.names)
+	return t
+}
+
+// lcaHeight returns the height of the LCA of permuted species a and b in
+// the partial topology.
+func (v *PNode) lcaHeight(a, b int) float64 {
+	x := v.leafID[a]
+	bb := uint64(1) << uint(b)
+	for x != -1 {
+		if v.mask[x]&bb != 0 {
+			return v.height[x]
+		}
+		x = v.parent[x]
+	}
+	return v.height[v.root]
+}

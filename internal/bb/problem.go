@@ -1,0 +1,135 @@
+// Package bb implements Algorithm BBU of Wu, Chao and Tang — the sequential
+// branch-and-bound construction of Minimum Ultrametric Trees from distance
+// matrices — exactly as the paper builds on it: max–min species relabeling,
+// a UPGMM feasible solution as the initial upper bound, the branch rule
+// that inserts the next species into every edge (and above the root) of the
+// partial topology, the lower bound
+//
+//	LB(v) = ω(T_v) + ½ · Σ_{i>k} min_{j<i} M[i,j],
+//
+// and the optional 3-3 relationship constraint applied when the third
+// species is inserted.
+//
+// The package also exposes the search frontier (Problem / PNode / Expand)
+// so the parallel engine (internal/pbb) and the cluster simulator
+// (internal/cluster) can drive the identical search with their own pool
+// disciplines.
+package bb
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"evotree/internal/matrix"
+	"evotree/internal/tree"
+	"evotree/internal/upgma"
+)
+
+// MaxSpecies bounds the number of species the branch-and-bound accepts.
+// Leaf sets are stored as single-word bitmasks; 64 is far beyond the size
+// any exact MUT search can finish anyway (the paper's record is 38).
+const MaxSpecies = 64
+
+// Problem is an immutable MUT search instance: the (already relabeled)
+// distance matrix plus the precomputed lower-bound tail sums.
+type Problem struct {
+	n    int
+	d    [][]float64 // permuted distances
+	perm []int       // perm[new] = old species index
+	// tail[k] = ½ Σ_{i=k..n-1} min_{j<i} d[i][j]: the minimum extra weight
+	// any completion of a k-leaf partial topology must add.
+	tail  []float64
+	names []string // original species names, indexed by old species id
+}
+
+// NewProblem builds a search instance from m. When useMaxMin is true the
+// species are relabeled by the max–min permutation first (Step 1 of BBU);
+// otherwise the input order is kept. The matrix must be metric-checkable
+// (Check) and have 2..MaxSpecies species.
+func NewProblem(m *matrix.Matrix, useMaxMin bool) (*Problem, error) {
+	n := m.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("bb: need at least 2 species, got %d", n)
+	}
+	if n > MaxSpecies {
+		return nil, fmt.Errorf("bb: %d species exceeds the supported maximum %d", n, MaxSpecies)
+	}
+	if err := m.Check(); err != nil {
+		return nil, err
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if useMaxMin {
+		perm = m.MaxMinPermutation()
+	}
+	pm := m.Relabel(perm)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			d[i][j] = pm.At(i, j)
+		}
+	}
+	p := &Problem{n: n, d: d, perm: perm, names: m.Names()}
+	p.tail = make([]float64, n+1)
+	for i := n - 1; i >= 2; i-- {
+		minD := math.Inf(1)
+		for j := 0; j < i; j++ {
+			if d[i][j] < minD {
+				minD = d[i][j]
+			}
+		}
+		p.tail[i] = p.tail[i+1] + minD/2
+	}
+	p.tail[1] = p.tail[2]
+	p.tail[0] = p.tail[2]
+	return p, nil
+}
+
+// N returns the number of species.
+func (p *Problem) N() int { return p.n }
+
+// Dist returns the distance between permuted species i and j.
+func (p *Problem) Dist(i, j int) float64 { return p.d[i][j] }
+
+// Perm returns the relabeling applied to the input matrix
+// (perm[new] = old).
+func (p *Problem) Perm() []int { return append([]int(nil), p.perm...) }
+
+// Tail returns the lower-bound tail for a partial topology holding the
+// first k permuted species.
+func (p *Problem) Tail(k int) float64 { return p.tail[k] }
+
+// InitialUpperBound runs UPGMM on the (permuted) matrix and returns the
+// feasible tree translated back to original species labels along with its
+// cost (Step 3 of BBU).
+func (p *Problem) InitialUpperBound() (*tree.Tree, float64) {
+	t, cost := upgma.UPGMM(permView{p})
+	t = t.RelabelSpecies(p.perm)
+	t.SetNames(p.names)
+	return t, cost
+}
+
+// permView adapts the problem's permuted distances to upgma.Matrix.
+type permView struct{ p *Problem }
+
+func (v permView) Len() int            { return v.p.n }
+func (v permView) At(i, j int) float64 { return v.p.d[i][j] }
+
+// maxDistToMask returns max_{j in mask} d[s][j], with the mask encoding
+// permuted species indices.
+func (p *Problem) maxDistToMask(s int, mask uint64) float64 {
+	row := p.d[s]
+	var best float64
+	for mask != 0 {
+		j := bits.TrailingZeros64(mask)
+		mask &= mask - 1
+		if row[j] > best {
+			best = row[j]
+		}
+	}
+	return best
+}

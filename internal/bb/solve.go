@@ -1,0 +1,232 @@
+package bb
+
+import (
+	"context"
+	"math"
+
+	"evotree/internal/matrix"
+	"evotree/internal/tree"
+)
+
+// Options configure a sequential solve.
+type Options struct {
+	Constraints
+	// UseMaxMin applies the max–min relabeling (Step 1 of BBU). The paper
+	// always enables it; it is an option here so the ablation benchmarks
+	// can measure its effect.
+	UseMaxMin bool
+	// InitialUB overrides the UPGMM upper bound when positive. Used by the
+	// decomposition pipeline, which may already know a feasible cost.
+	InitialUB float64
+	// NoInitialUB starts the search with an infinite upper bound instead
+	// of the UPGMM solution — the ablation measuring what Step 3 of BBU
+	// is worth.
+	NoInitialUB bool
+	// CollectAll retains every optimal tree instead of just one (Step 7 of
+	// the parallel algorithm gathers all solutions).
+	CollectAll bool
+	// MaxNodes aborts the search after expanding this many BBT nodes when
+	// positive; Result.Optimal reports false in that case. A safety valve
+	// for the experiment harness.
+	MaxNodes int64
+	// Ctx, when non-nil, cancels the search: the solver checks it
+	// periodically and returns the incumbent with Optimal=false once the
+	// context is done.
+	Ctx context.Context
+}
+
+// DefaultOptions enable the max–min relabeling and keep both 3-3 filters
+// off, which makes the search exact. The companion paper enables ThreeThree
+// and reports empirically unchanged results on its (near-ultrametric mtDNA)
+// data; on arbitrary metrics the filter can cut an optimum, so it is opt-in
+// here and exercised by the dedicated with/without experiments.
+func DefaultOptions() Options {
+	return Options{UseMaxMin: true}
+}
+
+// PaperOptions mirror the companion paper's configuration: max–min
+// relabeling plus the 3-3 constraint at the third species.
+func PaperOptions() Options {
+	return Options{UseMaxMin: true, Constraints: Constraints{ThreeThree: true}}
+}
+
+// Stats count the work a search performed.
+type Stats struct {
+	Expanded   int64 // BBT nodes branched
+	Generated  int64 // children created
+	PrunedLB   int64 // children discarded by LB ≥ UB
+	Solutions  int64 // complete topologies reaching the incumbent cost
+	UBUpdates  int64 // strict improvements of the upper bound
+	MaxPoolLen int   // high-water mark of the DFS stack
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Expanded += other.Expanded
+	s.Generated += other.Generated
+	s.PrunedLB += other.PrunedLB
+	s.Solutions += other.Solutions
+	s.UBUpdates += other.UBUpdates
+	if other.MaxPoolLen > s.MaxPoolLen {
+		s.MaxPoolLen = other.MaxPoolLen
+	}
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Tree    *tree.Tree   // one minimum ultrametric tree
+	Trees   []*tree.Tree // all optima when Options.CollectAll
+	Cost    float64      // ω of Tree
+	Optimal bool         // false only when MaxNodes cut the search short
+	Stats   Stats
+}
+
+// Solve constructs a minimum ultrametric tree for m with Algorithm BBU.
+func Solve(m *matrix.Matrix, opt Options) (*Result, error) {
+	p, err := NewProblem(m, opt.UseMaxMin)
+	if err != nil {
+		return nil, err
+	}
+	return p.SolveSequential(opt), nil
+}
+
+// SolveSequential runs the depth-first branch-and-bound on p. The DFS
+// always descends into the child with the smallest lower bound first, which
+// is the paper's "get the tree for branch using DFS" on a sorted pool.
+func (p *Problem) SolveSequential(opt Options) *Result {
+	res := &Result{}
+	ubTree, ub := p.InitialUpperBound()
+	if opt.NoInitialUB {
+		ub, ubTree = math.Inf(1), nil
+	}
+	if opt.InitialUB > 0 && opt.InitialUB < ub {
+		ub = opt.InitialUB
+		ubTree = nil
+	}
+	res.Tree, res.Cost = ubTree, ub
+	if opt.CollectAll && ubTree != nil {
+		res.Trees = []*tree.Tree{ubTree}
+	}
+	res.Optimal = true
+
+	stack := []*PNode{p.Root()}
+	for len(stack) > 0 {
+		if len(stack) > res.Stats.MaxPoolLen {
+			res.Stats.MaxPoolLen = len(stack)
+		}
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if prune(v.LB, ub, opt.CollectAll) {
+			res.Stats.PrunedLB++
+			continue
+		}
+		if opt.MaxNodes > 0 && res.Stats.Expanded >= opt.MaxNodes {
+			res.Optimal = false
+			break
+		}
+		if opt.Ctx != nil && res.Stats.Expanded%1024 == 0 {
+			select {
+			case <-opt.Ctx.Done():
+				res.Optimal = false
+				return res
+			default:
+			}
+		}
+		res.Stats.Expanded++
+		children := p.Expand(v, opt.Constraints)
+		res.Stats.Generated += int64(len(children))
+		// Children arrive sorted by ascending LB; push in reverse so the
+		// most promising child is popped first.
+		for i := len(children) - 1; i >= 0; i-- {
+			ch := children[i]
+			if prune(ch.LB, ub, opt.CollectAll) {
+				res.Stats.PrunedLB++
+				continue
+			}
+			if ch.Complete(p) {
+				ub = p.recordSolution(ch, ub, opt, res)
+				continue
+			}
+			stack = append(stack, ch)
+		}
+	}
+	return res
+}
+
+// prune reports whether a node with the given lower bound cannot improve
+// (or, when collecting all optima, cannot match) the incumbent.
+func prune(lb, ub float64, collectAll bool) bool {
+	if collectAll {
+		return lb > ub
+	}
+	return lb >= ub
+}
+
+// recordSolution folds a complete topology into the result and returns the
+// (possibly improved) upper bound.
+func (p *Problem) recordSolution(v *PNode, ub float64, opt Options, res *Result) float64 {
+	switch {
+	case v.Cost < ub:
+		ub = v.Cost
+		res.Cost = v.Cost
+		res.Tree = v.Tree(p)
+		res.Stats.UBUpdates++
+		res.Stats.Solutions = 1
+		if opt.CollectAll {
+			res.Trees = res.Trees[:0]
+			res.Trees = append(res.Trees, res.Tree)
+		}
+	case v.Cost == ub:
+		res.Stats.Solutions++
+		if opt.CollectAll {
+			res.Trees = append(res.Trees, v.Tree(p))
+		}
+		if res.Tree == nil {
+			res.Tree = v.Tree(p)
+			res.Cost = v.Cost
+		}
+	}
+	return ub
+}
+
+// BruteForce enumerates every rooted binary topology over the species of m
+// and returns a minimum ultrametric tree with its cost. Exponential; only
+// sensible for n ≤ 9. Used to validate the branch-and-bound.
+func BruteForce(m *matrix.Matrix) (*tree.Tree, float64, error) {
+	p, err := NewProblem(m, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	best := math.Inf(1)
+	var bestNode *PNode
+	var rec func(v *PNode)
+	rec = func(v *PNode) {
+		if v.Complete(p) {
+			if v.Cost < best {
+				best = v.Cost
+				bestNode = v
+			}
+			return
+		}
+		s := v.K
+		for pos := 0; pos < v.Positions(); pos++ {
+			rec(p.insert(v, s, pos))
+		}
+	}
+	rec(p.Root())
+	return bestNode.Tree(p), best, nil
+}
+
+// CountTopologies returns A(n) = Π_{k=2}^{n−1} (2k−1), the number of rooted
+// binary leaf-labeled topologies the search space contains, saturating at
+// math.MaxFloat64.
+func CountTopologies(n int) float64 {
+	a := 1.0
+	for k := 2; k < n; k++ {
+		a *= float64(2*k - 1)
+		if math.IsInf(a, 1) {
+			return math.MaxFloat64
+		}
+	}
+	return a
+}

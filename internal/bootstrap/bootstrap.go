@@ -1,0 +1,170 @@
+// Package bootstrap implements Felsenstein's bootstrap for distance trees
+// built from aligned sequences: alignment columns are resampled with
+// replacement, a tree is rebuilt from each pseudo-replicate's distance
+// matrix, and every clade of the reference tree is annotated with the
+// fraction of replicates in which it reappears. Biologists read these
+// support values to judge which parts of a published tree to trust — the
+// natural companion to the papers' "help biologists analyze the phylogeny"
+// goal.
+package bootstrap
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"evotree/internal/matrix"
+	"evotree/internal/seqsim"
+	"evotree/internal/tree"
+)
+
+// Builder turns a distance matrix into a tree. Implementations typically
+// wrap upgma.UPGMM or core.Construct.
+type Builder func(m *matrix.Matrix) (*tree.Tree, error)
+
+// Options configure a bootstrap run.
+type Options struct {
+	Replicates int   // number of pseudo-replicates; default 100
+	Seed       int64 // RNG seed for column resampling
+}
+
+// Support maps a clade (canonical comma-joined sorted species indices) to
+// the fraction of replicates containing it.
+type Support map[string]float64
+
+// Result of a bootstrap analysis.
+type Result struct {
+	Reference  *tree.Tree // tree built from the original alignment
+	Support    Support    // per-clade support of the reference tree
+	Replicates int
+}
+
+// Run resamples the alignment, rebuilds trees, and scores the reference
+// tree's clades. All sequences must have equal length ≥ 1.
+func Run(records []seqsim.Record, build Builder, opt Options) (*Result, error) {
+	if len(records) < 2 {
+		return nil, fmt.Errorf("bootstrap: need at least 2 sequences, got %d", len(records))
+	}
+	seqLen := len(records[0].Seq)
+	if seqLen == 0 {
+		return nil, fmt.Errorf("bootstrap: empty sequences")
+	}
+	for _, r := range records {
+		if len(r.Seq) != seqLen {
+			return nil, fmt.Errorf("bootstrap: sequence %q has length %d, want %d", r.Name, len(r.Seq), seqLen)
+		}
+	}
+	if opt.Replicates <= 0 {
+		opt.Replicates = 100
+	}
+
+	m, err := seqsim.MatrixFromSequences(records)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := build(m)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap: building reference tree: %w", err)
+	}
+	refClades := ref.CladeSet()
+	counts := make(map[string]int, len(refClades))
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cols := make([]int, seqLen)
+	resampled := make([]seqsim.Record, len(records))
+	for i := range resampled {
+		resampled[i] = seqsim.Record{Name: records[i].Name, Seq: make([]byte, seqLen)}
+	}
+	for rep := 0; rep < opt.Replicates; rep++ {
+		for c := range cols {
+			cols[c] = rng.Intn(seqLen)
+		}
+		for i, r := range records {
+			dst := resampled[i].Seq
+			for c, src := range cols {
+				dst[c] = r.Seq[src]
+			}
+		}
+		rm, err := seqsim.MatrixFromSequences(resampled)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := build(rm)
+		if err != nil {
+			return nil, fmt.Errorf("bootstrap: replicate %d: %w", rep, err)
+		}
+		repClades := rt.CladeSet()
+		for clade := range refClades {
+			if repClades[clade] {
+				counts[clade]++
+			}
+		}
+	}
+
+	support := make(Support, len(refClades))
+	for clade := range refClades {
+		support[clade] = float64(counts[clade]) / float64(opt.Replicates)
+	}
+	return &Result{Reference: ref, Support: support, Replicates: opt.Replicates}, nil
+}
+
+// CladeKey canonicalizes a species set the way Support keys are built.
+func CladeKey(species []int) string {
+	s := append([]int(nil), species...)
+	sort.Ints(s)
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Annotated renders the reference tree in Newick format with bootstrap
+// percentages as internal node labels, e.g. "((a:1,b:1)87:3,c:4);".
+func (r *Result) Annotated() string {
+	t := r.Reference
+	var b strings.Builder
+	var walk func(id int) []int
+	walk = func(id int) []int {
+		n := &t.Nodes[id]
+		if n.Species >= 0 {
+			b.WriteString(t.SpeciesName(n.Species))
+			if n.Parent != tree.NoNode {
+				fmt.Fprintf(&b, ":%g", t.Nodes[n.Parent].Height-n.Height)
+			}
+			return []int{n.Species}
+		}
+		b.WriteByte('(')
+		l := walk(n.Left)
+		b.WriteByte(',')
+		rr := walk(n.Right)
+		b.WriteByte(')')
+		leaves := append(l, rr...)
+		if n.Parent != tree.NoNode {
+			if sup, ok := r.Support[CladeKey(leaves)]; ok {
+				fmt.Fprintf(&b, "%.0f", 100*sup)
+			}
+			fmt.Fprintf(&b, ":%g", t.Nodes[n.Parent].Height-n.Height)
+		}
+		return leaves
+	}
+	if len(t.Nodes) > 0 {
+		walk(t.Root)
+	}
+	b.WriteByte(';')
+	return b.String()
+}
+
+// MeanSupport summarizes the overall confidence in the reference
+// topology (1.0 = every clade in every replicate).
+func (r *Result) MeanSupport() float64 {
+	if len(r.Support) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, s := range r.Support {
+		sum += s
+	}
+	return sum / float64(len(r.Support))
+}

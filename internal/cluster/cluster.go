@@ -1,0 +1,387 @@
+// Package cluster is a deterministic discrete-event model of the PC
+// cluster the papers evaluated on (one master, N slave computing nodes on
+// 100 Mbps Ethernet) and of the UniGrid platform of the project's grid
+// report. It replays the exact master/worker branch-and-bound protocol of
+// internal/pbb under a virtual clock:
+//
+//   - expanding one BBT node costs Config.TBranch time units on a slave;
+//   - every message (global-upper-bound broadcast, pool transfer) costs
+//     Config.Latency plus size·Config.PerByte;
+//   - an upper bound found by one node becomes visible to the others only
+//     after the broadcast delay, exactly like an MPI broadcast.
+//
+// Because the simulation is single-threaded and breaks ties by node id, a
+// given (matrix, config) always produces the same virtual makespan — so
+// the speedup experiments of the companion paper (Figures 1–8) are
+// reproducible on any host, independent of how many physical cores this
+// machine has. Super-linear speedups arise for the same reason the paper
+// gives: a parallel search discovers good upper bounds earlier in virtual
+// time, which prunes the remaining nodes' subtrees.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"evotree/internal/bb"
+	"evotree/internal/matrix"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	Nodes int // slave computing nodes (the papers use 1 and 16)
+	// TBranch is the virtual cost of expanding one BBT node. The absolute
+	// scale is arbitrary; only ratios to the message costs matter.
+	TBranch float64
+	// Latency is the per-message delay (UB broadcast, pool transfer).
+	Latency float64
+	// PerByte is the transfer cost per subproblem species (models message
+	// size growing with the partial topology).
+	PerByte float64
+	// InitialFanout × Nodes is the master's pre-dispatch frontier size.
+	InitialFanout int
+	// DisableGlobalPool turns off the two-level load balancer: nodes never
+	// donate to or pull from the global pool after the initial dispatch.
+	// Used by the ablation experiments to measure what the paper's
+	// global/local pool design buys.
+	DisableGlobalPool bool
+	// MaxExpansions aborts the simulated search after this many node
+	// expansions when positive; Result.Capped reports the cut. A safety
+	// valve for large sweeps.
+	MaxExpansions int64
+	// Speeds optionally gives per-node relative speeds (1.0 = nominal):
+	// node i expands a BBT node in TBranch/Speeds[i] time units. Missing
+	// or non-positive entries default to 1. Models the heterogeneous
+	// hardware of the grid report (the UniGrid nodes were slower than the
+	// lab cluster).
+	Speeds []float64
+	// BB carries the search options (max–min, 3-3, ...).
+	BB bb.Options
+}
+
+// ClusterConfig models the papers' Fast-Ethernet PC cluster: messages are
+// cheap relative to branching.
+func ClusterConfig(nodes int) Config {
+	return Config{
+		Nodes:         nodes,
+		TBranch:       1.0,
+		Latency:       0.2,
+		PerByte:       0.01,
+		InitialFanout: 2,
+		BB:            bb.DefaultOptions(),
+	}
+}
+
+// GridConfig models a wide-area grid (the UniGrid platform of the NCS
+// report): the same protocol with two orders of magnitude more latency
+// and slightly slower, heterogeneous nodes (the report's grid machines
+// were AMD 1.3 GHz against the cluster's 2000+).
+func GridConfig(nodes int) Config {
+	c := ClusterConfig(nodes)
+	c.Latency = 20
+	c.PerByte = 0.05
+	c.Speeds = make([]float64, nodes)
+	for i := range c.Speeds {
+		// Alternate between 0.65x and 0.85x of the cluster node speed.
+		if i%2 == 0 {
+			c.Speeds[i] = 0.65
+		} else {
+			c.Speeds[i] = 0.85
+		}
+	}
+	return c
+}
+
+// Result reports one simulated run.
+type Result struct {
+	// Cost is the best tree cost found. For uncapped runs it equals the
+	// sequential optimum (the model replays an exact search); for capped
+	// runs it is only the incumbent at the cut.
+	Cost     float64
+	Makespan float64 // virtual completion time (master + slowest slave)
+	// MasterTime is the virtual time the master spent building and
+	// dispatching the initial frontier; slaves start after it.
+	MasterTime float64
+	// Capped reports that MaxExpansions cut the search short; Cost is then
+	// the best bound found rather than the proven optimum.
+	Capped     bool
+	Expanded   int64     // BBT nodes expanded across all slaves (and master)
+	Messages   int64     // UB broadcasts + pool transfers
+	BytesMoved float64   // weighted message volume
+	NodeBusy   []float64 // per-slave busy time (load-balance visibility)
+}
+
+// Efficiency returns busy-time utilisation: Σ busy / (Nodes × makespan).
+func (r *Result) Efficiency(nodes int) float64 {
+	if r.Makespan == 0 || nodes == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, b := range r.NodeBusy {
+		sum += b
+	}
+	return sum / (float64(nodes) * r.Makespan)
+}
+
+// ubEvent is a bound improvement that becomes visible at time t.
+type ubEvent struct {
+	t  float64
+	ub float64
+}
+
+// simWorker is one slave computing node of the model.
+type simWorker struct {
+	clock  float64
+	busy   float64
+	speed  float64     // relative speed; expansion costs TBranch/speed
+	local  []*bb.PNode // sorted: best (lowest LB) at the tail
+	lastUB float64     // the node's own best-known bound (own finds apply instantly)
+}
+
+// Simulate runs the virtual cluster on m and returns the makespan. The
+// search itself is exact: the returned Cost always equals the sequential
+// optimum.
+func Simulate(m *matrix.Matrix, cfg Config) (*Result, error) {
+	p, err := bb.NewProblem(m, cfg.BB.UseMaxMin)
+	if err != nil {
+		return nil, err
+	}
+	return SimulateProblem(p, cfg), nil
+}
+
+// SimulateProblem runs the model on an existing problem instance.
+func SimulateProblem(p *bb.Problem, cfg Config) *Result {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.InitialFanout < 1 {
+		cfg.InitialFanout = 2
+	}
+	if cfg.TBranch <= 0 {
+		cfg.TBranch = 1
+	}
+	res := &Result{NodeBusy: make([]float64, cfg.Nodes)}
+
+	// ---- master phase ----
+	_, ub := p.InitialUpperBound()
+	if cfg.BB.InitialUB > 0 && cfg.BB.InitialUB < ub {
+		ub = cfg.BB.InitialUB
+	}
+	best := ub
+	var masterTime float64
+	target := cfg.InitialFanout * cfg.Nodes
+	frontier := []*bb.PNode{p.Root()}
+	for len(frontier) > 0 && len(frontier) < target {
+		v := frontier[0]
+		frontier = frontier[1:]
+		masterTime += cfg.TBranch
+		res.Expanded++
+		if v.Complete(p) {
+			if v.Cost < best {
+				best = v.Cost
+			}
+			continue
+		}
+		for _, ch := range p.Expand(v, cfg.BB.Constraints) {
+			switch {
+			case ch.LB >= best:
+				// pruned at generation time
+			case ch.Complete(p):
+				if ch.Cost < best {
+					best = ch.Cost
+				}
+			default:
+				frontier = append(frontier, ch)
+			}
+		}
+	}
+	sort.SliceStable(frontier, func(i, j int) bool { return frontier[i].LB < frontier[j].LB })
+	res.MasterTime = masterTime
+
+	// ---- dispatch (cyclic, one message per subproblem) ----
+	workers := make([]*simWorker, cfg.Nodes)
+	for i := range workers {
+		speed := 1.0
+		if i < len(cfg.Speeds) && cfg.Speeds[i] > 0 {
+			speed = cfg.Speeds[i]
+		}
+		workers[i] = &simWorker{clock: masterTime, speed: speed, lastUB: best}
+	}
+	var gp []*bb.PNode
+	slots := cfg.Nodes + 1
+	if cfg.DisableGlobalPool {
+		slots = cfg.Nodes // no pool share without load balancing
+	}
+	for i, v := range frontier {
+		slot := i % slots
+		cost := cfg.Latency + cfg.PerByte*float64(v.K)
+		res.Messages++
+		res.BytesMoved += float64(v.K)
+		if slot == cfg.Nodes {
+			gp = append(gp, v)
+			continue
+		}
+		w := workers[slot]
+		w.local = append(w.local, v)
+		if t := masterTime + cost; t > w.clock {
+			w.clock = t
+		}
+	}
+	for i := range workers {
+		sortDescLB(workers[i].local)
+	}
+
+	var events []ubEvent // sorted by time
+
+	visibleUB := func(w *simWorker) float64 {
+		ub := w.lastUB
+		for _, e := range events {
+			if e.t <= w.clock && e.ub < ub {
+				ub = e.ub
+			}
+		}
+		return ub
+	}
+
+	// ---- event loop ----
+	for {
+		// Choose the earliest-clock worker that can make progress.
+		wi := -1
+		for i, w := range workers {
+			if len(w.local) == 0 && (len(gp) == 0 || cfg.DisableGlobalPool) {
+				continue
+			}
+			if wi == -1 || w.clock < workers[wi].clock {
+				wi = i
+			}
+		}
+		if wi == -1 {
+			break
+		}
+		if cfg.MaxExpansions > 0 && res.Expanded >= cfg.MaxExpansions {
+			res.Capped = true
+			break
+		}
+		w := workers[wi]
+		if len(w.local) == 0 {
+			// Pull the most promising pooled subproblem (two messages:
+			// request + reply).
+			bi := 0
+			for i, v := range gp {
+				if v.LB < gp[bi].LB {
+					bi = i
+				}
+			}
+			v := gp[bi]
+			gp[bi] = gp[len(gp)-1]
+			gp = gp[:len(gp)-1]
+			w.local = append(w.local, v)
+			w.clock += 2*cfg.Latency + cfg.PerByte*float64(v.K)
+			res.Messages += 2
+			res.BytesMoved += float64(v.K)
+			continue
+		}
+		v := w.local[len(w.local)-1]
+		w.local = w.local[:len(w.local)-1]
+		ub := visibleUB(w)
+		if v.LB >= ub {
+			continue // pruning costs no branching time
+		}
+		step := cfg.TBranch / w.speed
+		w.clock += step
+		w.busy += step
+		res.Expanded++
+		if v.Complete(p) {
+			if v.Cost < ub {
+				w.lastUB = v.Cost
+				events = append(events, ubEvent{t: w.clock + cfg.Latency, ub: v.Cost})
+				res.Messages += int64(cfg.Nodes - 1)
+				if v.Cost < best {
+					best = v.Cost
+				}
+			}
+			continue
+		}
+		children := p.Expand(v, cfg.BB.Constraints)
+		// Children arrive sorted ascending by LB; append in reverse so the
+		// most promising child sits at the tail (popped next by the DFS),
+		// matching the real engine's stack discipline.
+		for i := len(children) - 1; i >= 0; i-- {
+			ch := children[i]
+			switch {
+			case ch.LB >= visibleUB(w):
+				// pruned
+			case ch.Complete(p):
+				if ch.Cost < visibleUB(w) {
+					w.lastUB = ch.Cost
+					events = append(events, ubEvent{t: w.clock + cfg.Latency, ub: ch.Cost})
+					res.Messages += int64(cfg.Nodes - 1)
+					if ch.Cost < best {
+						best = ch.Cost
+					}
+				}
+			default:
+				w.local = append(w.local, ch)
+			}
+		}
+		// Donate to the empty global pool (asynchronous send).
+		if !cfg.DisableGlobalPool && len(gp) == 0 && len(w.local) > 1 {
+			d := w.local[0]
+			w.local = w.local[1:]
+			gp = append(gp, d)
+			res.Messages++
+			res.BytesMoved += float64(d.K)
+		}
+	}
+
+	res.Cost = best
+	makespan := masterTime
+	for i, w := range workers {
+		res.NodeBusy[i] = w.busy
+		if w.clock > makespan {
+			makespan = w.clock
+		}
+	}
+	res.Makespan = makespan
+	return res
+}
+
+// Speedup runs the simulation with 1 and with nodes slaves and returns
+// makespan(1)/makespan(nodes) along with both results.
+func Speedup(m *matrix.Matrix, cfg Config, nodes int) (float64, *Result, *Result, error) {
+	one := cfg
+	one.Nodes = 1
+	seq, err := Simulate(m, one)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	many := cfg
+	many.Nodes = nodes
+	par, err := Simulate(m, many)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if par.Makespan == 0 {
+		return 1, seq, par, nil
+	}
+	return seq.Makespan / par.Makespan, seq, par, nil
+}
+
+// Validate sanity-checks a configuration.
+func (cfg Config) Validate() error {
+	if cfg.Nodes < 1 {
+		return fmt.Errorf("cluster: need at least 1 node")
+	}
+	if cfg.TBranch < 0 || cfg.Latency < 0 || cfg.PerByte < 0 {
+		return fmt.Errorf("cluster: negative cost parameter")
+	}
+	if math.IsNaN(cfg.TBranch + cfg.Latency + cfg.PerByte) {
+		return fmt.Errorf("cluster: NaN cost parameter")
+	}
+	return nil
+}
+
+func sortDescLB(nodes []*bb.PNode) {
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].LB > nodes[j].LB })
+}

@@ -1,0 +1,268 @@
+// Package compact implements the paper's headline technique: detecting the
+// compact sets of the complete weighted graph induced by a distance matrix
+// and using them to split the matrix into several small matrices whose
+// ultrametric subtrees can be built independently (and in parallel) and
+// merged without losing the relations among species.
+//
+// A set C ⊆ V is compact when the largest distance inside C is smaller
+// than every distance leaving C (Lemma 2). Compact sets are found by
+// Kruskal's algorithm: process minimum-spanning-tree edges in ascending
+// order, merge the endpoint components, and test the compactness predicate
+// after each merge (the paper's Algorithm "Compact Sets"). Any two compact
+// sets are nested or disjoint (Lemma 3), so the family forms a laminar
+// hierarchy; Lemma 1 guarantees each compact set appears as a clade of any
+// relation-faithful tree, which is why the decomposition preserves the
+// phylogeny.
+package compact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"evotree/internal/graph"
+	"evotree/internal/matrix"
+)
+
+// Set is one compact set: the sorted species indices it contains.
+type Set []int
+
+// Find returns every non-trivial compact set of m (size ≥ 2 and < n), in
+// Kruskal discovery order. The full vertex set and singletons — compact by
+// convention — are omitted, matching the paper's listing.
+func Find(m *matrix.Matrix) ([]Set, error) {
+	n := m.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("compact: empty matrix")
+	}
+	mst, err := graph.MST(m)
+	if err != nil {
+		return nil, err
+	}
+	uf := graph.NewUnionFind(n)
+	// members[root] lists the component's vertices; maxIn[root] its largest
+	// internal distance. Both are maintained across unions.
+	members := make(map[int][]int, n)
+	maxIn := make(map[int]float64, n)
+	for v := 0; v < n; v++ {
+		members[v] = []int{v}
+	}
+	var sets []Set
+	// The paper's loop runs over the first n−2 MST edges: the last merge
+	// produces V itself, which is not reported.
+	for i := 0; i < len(mst)-1; i++ {
+		e := mst[i]
+		ra, rb := uf.Find(e.U), uf.Find(e.V)
+		ma, mb := members[ra], members[rb]
+		cross := 0.0
+		for _, a := range ma {
+			for _, b := range mb {
+				if d := m.At(a, b); d > cross {
+					cross = d
+				}
+			}
+		}
+		newMax := math.Max(cross, math.Max(maxIn[ra], maxIn[rb]))
+		uf.Union(e.U, e.V)
+		r := uf.Find(e.U)
+		merged := append(append(make([]int, 0, len(ma)+len(mb)), ma...), mb...)
+		sort.Ints(merged)
+		delete(members, ra)
+		delete(members, rb)
+		delete(maxIn, ra)
+		delete(maxIn, rb)
+		members[r] = merged
+		maxIn[r] = newMax
+		if newMax < minCut(m, merged) {
+			sets = append(sets, Set(append([]int(nil), merged...)))
+		}
+	}
+	return sets, nil
+}
+
+// minCut returns the smallest distance between a vertex in set and one
+// outside it (Min(A, !A) of the paper). Returns +Inf when set covers all
+// vertices.
+func minCut(m *matrix.Matrix, set []int) float64 {
+	in := make([]bool, m.Len())
+	for _, v := range set {
+		in[v] = true
+	}
+	best := math.Inf(1)
+	for _, a := range set {
+		for b := 0; b < m.Len(); b++ {
+			if in[b] {
+				continue
+			}
+			if d := m.At(a, b); d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// IsCompact reports whether set satisfies the compactness predicate
+// Max(set) < Min(set, complement) on m. Singletons and the full vertex set
+// are compact by convention.
+func IsCompact(m *matrix.Matrix, set []int) bool {
+	if len(set) <= 1 || len(set) >= m.Len() {
+		return true
+	}
+	maxIn := 0.0
+	for x := 0; x < len(set); x++ {
+		for y := x + 1; y < len(set); y++ {
+			if d := m.At(set[x], set[y]); d > maxIn {
+				maxIn = d
+			}
+		}
+	}
+	return maxIn < minCut(m, set)
+}
+
+// IsLaminar reports whether every pair of sets is nested or disjoint
+// (Lemma 3 guarantees this for compact sets of a single matrix).
+func IsLaminar(sets []Set) bool {
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			inter, aInB, bInA := relate(sets[i], sets[j])
+			if inter && !aInB && !bInA {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// relate reports whether a and b intersect, whether a ⊆ b, and whether
+// b ⊆ a.
+func relate(a, b Set) (intersect, aInB, bInA bool) {
+	inB := make(map[int]bool, len(b))
+	for _, v := range b {
+		inB[v] = true
+	}
+	common := 0
+	for _, v := range a {
+		if inB[v] {
+			common++
+		}
+	}
+	return common > 0, common == len(a), common == len(b)
+}
+
+// Hierarchy is the laminar tree of compact sets: each node owns a group of
+// species and partitions it among its children (maximal compact proper
+// subsets plus leftover singletons). Leaves hold exactly one species.
+type Hierarchy struct {
+	Members  []int // sorted species indices of this group
+	Children []*Hierarchy
+	Compact  bool // whether Members is one of the detected compact sets
+}
+
+// Species returns the single species of a leaf node; it panics on internal
+// nodes.
+func (h *Hierarchy) Species() int {
+	if len(h.Members) != 1 {
+		panic("compact: Species on non-leaf hierarchy node")
+	}
+	return h.Members[0]
+}
+
+// IsLeaf reports whether the node holds exactly one species.
+func (h *Hierarchy) IsLeaf() bool { return len(h.Members) == 1 }
+
+// Count returns the number of internal (multi-species) hierarchy nodes —
+// the number of subproblems the decomposition will solve.
+func (h *Hierarchy) Count() int {
+	if h.IsLeaf() {
+		return 0
+	}
+	c := 1
+	for _, ch := range h.Children {
+		c += ch.Count()
+	}
+	return c
+}
+
+// String renders the hierarchy as nested braces, e.g. "{{1 3} 2}".
+func (h *Hierarchy) String() string {
+	if h.IsLeaf() {
+		return fmt.Sprint(h.Members[0])
+	}
+	parts := make([]string, len(h.Children))
+	for i, ch := range h.Children {
+		parts[i] = ch.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// BuildHierarchy arranges the compact sets of m into their laminar tree.
+// The root covers all species even though V itself is not a detected set.
+func BuildHierarchy(m *matrix.Matrix) (*Hierarchy, []Set, error) {
+	sets, err := Find(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := m.Len()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	root := &Hierarchy{Members: all, Compact: false}
+	// Insert sets from largest to smallest: each set becomes a child of the
+	// smallest group strictly containing it.
+	ordered := append([]Set(nil), sets...)
+	sort.SliceStable(ordered, func(i, j int) bool { return len(ordered[i]) > len(ordered[j]) })
+	for _, s := range ordered {
+		node := &Hierarchy{Members: append([]int(nil), s...), Compact: true}
+		attach(root, node)
+	}
+	fillSingletons(root)
+	return root, sets, nil
+}
+
+// attach descends from parent to the smallest group containing node and
+// adds node as its child, adopting any existing children that node covers.
+func attach(parent, node *Hierarchy) {
+	for _, ch := range parent.Children {
+		if _, nodeInCh, _ := relate(node.Members, ch.Members); nodeInCh && !ch.IsLeaf() {
+			attach(ch, node)
+			return
+		}
+	}
+	// node belongs directly under parent; move covered children below it.
+	kept := parent.Children[:0]
+	for _, ch := range parent.Children {
+		if _, chInNode, _ := relate(ch.Members, node.Members); chInNode {
+			node.Children = append(node.Children, ch)
+		} else {
+			kept = append(kept, ch)
+		}
+	}
+	parent.Children = append(kept, node)
+}
+
+// fillSingletons adds a leaf child for every species of each internal node
+// not covered by its set children, so children always partition Members.
+func fillSingletons(h *Hierarchy) {
+	if len(h.Members) == 1 {
+		h.Children = nil
+		return
+	}
+	covered := make(map[int]bool)
+	for _, ch := range h.Children {
+		for _, v := range ch.Members {
+			covered[v] = true
+		}
+		fillSingletons(ch)
+	}
+	for _, v := range h.Members {
+		if !covered[v] {
+			h.Children = append(h.Children, &Hierarchy{Members: []int{v}, Compact: true})
+		}
+	}
+	sort.SliceStable(h.Children, func(i, j int) bool {
+		return h.Children[i].Members[0] < h.Children[j].Members[0]
+	})
+}

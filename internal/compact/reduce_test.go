@@ -1,0 +1,185 @@
+package compact
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"evotree/internal/matrix"
+	"evotree/internal/tree"
+	"evotree/internal/upgma"
+)
+
+func TestReduceOnLeafFails(t *testing.T) {
+	m := paperExample(t)
+	leaf := &Hierarchy{Members: []int{0}}
+	if _, _, err := Reduce(m, leaf, Maximum); err == nil {
+		t.Fatal("want error for Reduce on a leaf group")
+	}
+}
+
+func TestGroupName(t *testing.T) {
+	m := paperExample(t)
+	leaf := &Hierarchy{Members: []int{2}}
+	if got := GroupName(m, leaf); got != "S3" {
+		t.Fatalf("leaf name %q", got)
+	}
+	grp := &Hierarchy{Members: []int{0, 2}}
+	if got := GroupName(m, grp); got != "C{S1,S3}" {
+		t.Fatalf("group name %q", got)
+	}
+}
+
+func TestGraftErrors(t *testing.T) {
+	h := &Hierarchy{
+		Members: []int{0, 1, 2},
+		Children: []*Hierarchy{
+			{Members: []int{0, 1}},
+			{Members: []int{2}},
+		},
+	}
+	groupTree := tree.Join(tree.New(0), tree.New(1), 5)
+	// Wrong subs length.
+	if _, err := Graft(groupTree, h, nil); err == nil {
+		t.Fatal("want error for subs length mismatch")
+	}
+	// Missing subtree for a non-singleton child.
+	if _, err := Graft(groupTree, h, []*tree.Tree{nil, nil}); err == nil {
+		t.Fatal("want error for missing subtree")
+	}
+	// Proper graft.
+	sub := tree.Join(tree.New(0), tree.New(1), 2)
+	out, err := Graft(groupTree, h, []*tree.Tree{sub, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.LeafCount(); got != 3 {
+		t.Fatalf("%d leaves", got)
+	}
+	// Species labels come from the hierarchy: {0,1} from sub, 2 from the
+	// singleton child.
+	leaves := out.Leaves()
+	seen := map[int]bool{}
+	for _, l := range leaves {
+		seen[l] = true
+	}
+	if !seen[0] || !seen[1] || !seen[2] {
+		t.Fatalf("leaves = %v", leaves)
+	}
+}
+
+func TestGraftClampsOverTallSubtrees(t *testing.T) {
+	// A subtree taller than its attachment parent (possible with Minimum
+	// or Average reductions) is clamped, keeping the tree valid.
+	h := &Hierarchy{
+		Members: []int{0, 1, 2},
+		Children: []*Hierarchy{
+			{Members: []int{0, 1}},
+			{Members: []int{2}},
+		},
+	}
+	groupTree := tree.Join(tree.New(0), tree.New(1), 3)
+	tall := tree.Join(tree.New(0), tree.New(1), 10) // taller than height 3
+	out, err := Graft(groupTree, h, []*tree.Tree{tall, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(1e-9); err != nil {
+		t.Fatalf("clamped graft invalid: %v", err)
+	}
+	if out.Height() != 3 {
+		t.Fatalf("root height %g, want 3", out.Height())
+	}
+}
+
+func TestEndToEndDecompositionMatchesManualAssembly(t *testing.T) {
+	// Solve the paper example manually through Reduce/Graft with UPGMM as
+	// the subproblem solver and check feasibility and relation
+	// preservation — the same path core.Construct automates.
+	m := paperExample(t)
+	h, sets, err := BuildHierarchy(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solve func(h *Hierarchy) *tree.Tree
+	solve = func(h *Hierarchy) *tree.Tree {
+		if h.IsLeaf() {
+			return nil
+		}
+		small, kids, err := Reduce(m, h, Maximum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs := make([]*tree.Tree, len(kids))
+		for i, ch := range kids {
+			subs[i] = solve(ch)
+		}
+		groupTree := upgma.Build(small, upgma.Maximum)
+		out, err := Graft(groupTree, h, subs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	out := solve(h)
+	if err := out.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Feasible(m, 1e-9) {
+		t.Fatal("maximum-reduction assembly must be feasible")
+	}
+	for _, s := range sets {
+		// Each compact set must be a clade: its LCA holds exactly its
+		// members.
+		lca := out.LCA(s[0], s[1])
+		for _, v := range s[2:] {
+			l2 := out.LCA(s[0], v)
+			if out.Nodes[l2].Height > out.Nodes[lca].Height {
+				lca = l2
+			}
+		}
+		count := 0
+		var walk func(id int)
+		walk = func(id int) {
+			n := out.Nodes[id]
+			if n.Species >= 0 {
+				count++
+				return
+			}
+			walk(n.Left)
+			walk(n.Right)
+		}
+		walk(lca)
+		if count != len(s) {
+			t.Fatalf("compact set %v not a clade (%d leaves under LCA)", s, count)
+		}
+	}
+}
+
+func TestReductionStringer(t *testing.T) {
+	if Maximum.String() != "maximum" || Minimum.String() != "minimum" || Average.String() != "average" {
+		t.Fatal("Reduction names wrong")
+	}
+	if !strings.Contains(Reduction(99).String(), "99") {
+		t.Fatal("unknown reduction should show its value")
+	}
+}
+
+func TestGroupDistanceRandomConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := matrix.RandomMetric(rng, 10, 50, 100)
+	a, b := []int{0, 3, 5}, []int{1, 7}
+	maxD := GroupDistance(m, a, b, Maximum)
+	minD := GroupDistance(m, a, b, Minimum)
+	avgD := GroupDistance(m, a, b, Average)
+	if !(minD <= avgD && avgD <= maxD) {
+		t.Fatalf("min %g avg %g max %g out of order", minD, avgD, maxD)
+	}
+	if math.IsNaN(avgD) {
+		t.Fatal("NaN average")
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"evotree/internal/compact"
+	"evotree/internal/matrix"
+)
+
+func TestConstructWithAndWithoutCompactSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 8; trial++ {
+		n := 6 + rng.Intn(5)
+		m := matrix.PerturbedUltrametric(rng, n, 100, 0.1)
+
+		with, err := Construct(m, DefaultOptions(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions(2)
+		opt.UseCompactSets = false
+		without, err := Construct(m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if err := with.Tree.Validate(1e-9); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !with.Tree.IsUltrametricTree(1e-9) {
+			t.Fatalf("trial %d: merged tree not ultrametric", trial)
+		}
+		if !with.Tree.Feasible(m, 1e-9) {
+			t.Fatalf("trial %d: maximum-reduction merged tree must stay feasible", trial)
+		}
+		if got := len(with.Tree.Leaves()); got != n {
+			t.Fatalf("trial %d: %d leaves, want %d", trial, got, n)
+		}
+		// The exact MUT is a lower bound for any feasible tree.
+		if with.Cost < without.Cost-1e-9 {
+			t.Fatalf("trial %d: decomposition cost %g below exact optimum %g",
+				trial, with.Cost, without.Cost)
+		}
+		// Headline property: every compact set is a clade of the result.
+		if err := RelationPreserved(with.Tree, with.CompactSets); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestCostGapStaysSmallOnClockLikeData(t *testing.T) {
+	// The paper reports < 5% cost difference on random data and ≤ 1.5% on
+	// mtDNA. On near-ultrametric instances the decomposition should stay
+	// within a modest band of the optimum; we allow 10% slack here to keep
+	// the test robust across seeds.
+	rng := rand.New(rand.NewSource(31))
+	worst := 0.0
+	for trial := 0; trial < 10; trial++ {
+		n := 7 + rng.Intn(4)
+		m := matrix.PerturbedUltrametric(rng, n, 100, 0.05)
+		with, err := Construct(m, DefaultOptions(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := Exact(m, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gap := CostGap(with.Cost, exact); gap > worst {
+			worst = gap
+		}
+	}
+	if worst > 0.10 {
+		t.Fatalf("worst cost gap %.2f%% exceeds 10%%", 100*worst)
+	}
+}
+
+func TestConstructDegenerateInputs(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		m := matrix.RandomMetric(rand.New(rand.NewSource(int64(n))), n, 50, 100)
+		res, err := Construct(m, DefaultOptions(2))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := len(res.Tree.Leaves()); got != n {
+			t.Fatalf("n=%d: %d leaves", n, got)
+		}
+		if err := res.Tree.Validate(1e-9); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestConstructExactlyUltrametricIsOptimal(t *testing.T) {
+	// On a noiseless ultrametric matrix the decomposition loses nothing:
+	// compact-set boundaries coincide with the true clusters.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 6; trial++ {
+		m := matrix.RandomUltrametric(rng, 9, 100)
+		with, err := Construct(m, DefaultOptions(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := Exact(m, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(with.Cost-exact) > 1e-9 {
+			t.Fatalf("trial %d: decomposition %g, exact %g on ultrametric input",
+				trial, with.Cost, exact)
+		}
+	}
+}
+
+func TestSubproblemsAreSmallerThanWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	m := matrix.PerturbedUltrametric(rng, 14, 100, 0.05)
+	res, err := Construct(m, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CompactSets) == 0 {
+		t.Skip("no compact sets on this seed")
+	}
+	for _, sp := range res.Subproblems {
+		if sp.Size >= m.Len() {
+			t.Fatalf("subproblem of size %d not smaller than the input %d", sp.Size, m.Len())
+		}
+	}
+}
+
+func TestReductionVariantsProduceValidTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	m := matrix.PerturbedUltrametric(rng, 9, 100, 0.1)
+	for _, r := range []compact.Reduction{compact.Maximum, compact.Minimum, compact.Average} {
+		opt := DefaultOptions(2)
+		opt.Reduction = r
+		res, err := Construct(m, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if err := res.Tree.Validate(1e-9); err != nil {
+			t.Fatalf("%v: %v", r, err)
+		}
+		if r == compact.Maximum && !res.Tree.Feasible(m, 1e-9) {
+			t.Fatalf("maximum reduction must stay feasible")
+		}
+	}
+}
+
+func TestRelationPreservedDetectsViolation(t *testing.T) {
+	// Build a tree, then claim a compact set that is NOT a clade and make
+	// sure the check reports it.
+	rng := rand.New(rand.NewSource(36))
+	m := matrix.PerturbedUltrametric(rng, 6, 100, 0.1)
+	res, err := Construct(m, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick two species with the shallowest LCA (root): {a,b} cannot be a
+	// clade unless the tree has only those two leaves.
+	leaves := res.Tree.Leaves()
+	var a, b int
+	deep := -1.0
+	for x := 0; x < len(leaves); x++ {
+		for y := x + 1; y < len(leaves); y++ {
+			h := res.Tree.Nodes[res.Tree.LCA(leaves[x], leaves[y])].Height
+			if h > deep {
+				deep, a, b = h, leaves[x], leaves[y]
+			}
+		}
+	}
+	if err := RelationPreserved(res.Tree, []compact.Set{{a, b}}); err == nil {
+		t.Fatal("want violation for a non-clade set")
+	}
+}
+
+func TestParallelThresholdPath(t *testing.T) {
+	// A decomposition whose top-level reduced matrix is large routes
+	// through the parallel engine; the result must stay correct.
+	rng := rand.New(rand.NewSource(37))
+	m := matrix.PerturbedUltrametric(rng, 16, 100, 0.08)
+	opt := DefaultOptions(3)
+	opt.ParallelThreshold = 2 // force the parallel path everywhere
+	res, err := Construct(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqOpt := DefaultOptions(1)
+	seq, err := Construct(m, seqOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-seq.Cost) > 1e-9 {
+		t.Fatalf("parallel-path cost %g, sequential-path %g", res.Cost, seq.Cost)
+	}
+	if !res.Tree.Feasible(m, 1e-9) {
+		t.Fatal("infeasible")
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"evotree/internal/core"
+	"evotree/internal/nj"
+	"evotree/internal/seqsim"
+	"evotree/internal/tree"
+	"evotree/internal/upgma"
+)
+
+// accuracy (extension, not a paper figure): how faithfully each method
+// recovers the TRUE simulated phylogeny, measured by triple agreement
+// with the generating tree. This quantifies the papers' motivating claim
+// that minimum ultrametric trees are worth their cost compared to the
+// heuristics biologists commonly use (UPGMA, neighbor joining).
+
+func init() {
+	register("accuracy", runAccuracy)
+}
+
+func runAccuracy(cfg Config) (*Figure, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Figure{
+		ID:     "accuracy",
+		Title:  "triple agreement with the true phylogeny (extension)",
+		XLabel: "species", YLabel: "mean agreement (%)",
+	}
+	reps := instances(cfg, 5)
+	for _, n := range sweep(cfg, []int{8, 12, 16, 20}, []int{7, 9}) {
+		agree := map[string][]float64{}
+		for r := 0; r < reps; r++ {
+			ds, err := seqsim.Generate(rng, seqsim.Params{Species: n, SeqLen: 120, Rate: 1.0})
+			if err != nil {
+				return nil, err
+			}
+			m := ds.Matrix
+
+			opt := core.DefaultOptions(cfg.Workers)
+			opt.BB.MaxNodes = parCap(cfg)
+			compactRes, err := core.Construct(m, opt)
+			if err != nil {
+				return nil, err
+			}
+			record(agree, "compact+B&B", compactRes.Tree, ds.TrueTree)
+
+			upgmaTree := upgma.Build(m, upgma.Average)
+			record(agree, "UPGMA", upgmaTree, ds.TrueTree)
+
+			upgmmTree := upgma.Build(m, upgma.Maximum)
+			record(agree, "UPGMM", upgmmTree, ds.TrueTree)
+
+			njScore, err := njAgreement(m, ds.TrueTree)
+			if err != nil {
+				return nil, err
+			}
+			agree["NJ"] = append(agree["NJ"], njScore)
+		}
+		f.X = append(f.X, float64(n))
+		for _, name := range []string{"compact+B&B", "UPGMA", "UPGMM", "NJ"} {
+			f.AddPoint(name, 100*Mean(agree[name]))
+		}
+	}
+	f.Note("agreement = fraction of species triples whose closest pair matches the generating tree")
+	return f, nil
+}
+
+func record(agree map[string][]float64, name string, got, truth *tree.Tree) {
+	score, err := tree.TripleAgreement(got, truth)
+	if err != nil {
+		score = 0
+	}
+	agree[name] = append(agree[name], score)
+}
+
+// njAgreement scores the neighbor-joining tree by its own triple relation
+// (closest pair by path distance) against the generating tree.
+func njAgreement(m interface {
+	Len() int
+	At(i, j int) float64
+}, truth *tree.Tree) (float64, error) {
+	t, err := nj.Build(m)
+	if err != nil {
+		return 0, err
+	}
+	n := m.Len()
+	agree, total := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				total++
+				if njTriple(t, i, j, k) == truth.TreeTriple(i, j, k) {
+					agree++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1, nil
+	}
+	return float64(agree) / float64(total), nil
+}
+
+// njTriple classifies a triple by NJ path distances.
+func njTriple(t *nj.Tree, i, j, k int) tree.TripleRelation {
+	dij, dik, djk := t.PathDist(i, j), t.PathDist(i, k), t.PathDist(j, k)
+	switch {
+	case dij < dik && dij < djk:
+		return tree.IJ
+	case dik < dij && dik < djk:
+		return tree.IK
+	case djk < dij && djk < dik:
+		return tree.JK
+	}
+	return tree.None
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"evotree/internal/core"
+	"evotree/internal/matrix"
+)
+
+// PaCT 2005, Figures 8–13: the compact-set technique against the plain
+// branch-and-bound, on random matrices and on mtDNA-surrogate data, in both
+// computing time and total tree cost.
+
+func init() {
+	register("pact8", RunPact8)
+	register("pact9", RunPact9)
+	register("pact10", RunPact10)
+	register("pact11", RunPact11)
+	register("pact12", RunPact12)
+	register("pact13", RunPact13)
+}
+
+// maxNodesCap bounds each exact solve so a pathological instance cannot
+// stall a sweep; capped runs are reported in the figure notes.
+func maxNodesCap(cfg Config) int64 {
+	if cfg.Quick {
+		return 100_000
+	}
+	return 250_000
+}
+
+// runBothConditions solves m with and without compact sets and returns
+// (timeWith, timeWithout, costWith, costWithout, capped).
+func runBothConditions(m *matrix.Matrix, cfg Config) (tw, two, cw, cwo float64, capped bool, err error) {
+	optWith := core.DefaultOptions(cfg.Workers)
+	optWith.BB.MaxNodes = maxNodesCap(cfg)
+	with, err := core.Construct(m, optWith)
+	if err != nil {
+		return 0, 0, 0, 0, false, err
+	}
+	optWithout := optWith
+	optWithout.UseCompactSets = false
+	without, err := core.Construct(m, optWithout)
+	if err != nil {
+		return 0, 0, 0, 0, false, err
+	}
+	capped = without.Stats.Expanded >= optWith.BB.MaxNodes ||
+		with.Stats.Expanded >= optWith.BB.MaxNodes
+	return with.Elapsed.Seconds(), without.Elapsed.Seconds(),
+		with.Cost, without.Cost, capped, nil
+}
+
+// pactSweepCache memoizes the shared sweep of figures 8 and 9 (and the
+// DNA batches of 10–13), keyed by configuration, so `evobench -fig all`
+// does not repeat the expensive capped searches.
+var pactSweepCache sync.Map
+
+type pactSweepResult struct {
+	ns               []int
+	tw, two, cw, cwo []float64
+	caps             int
+	err              error
+}
+
+// pactRandomSweep drives figures 8 and 9: per species count, average time
+// and cost of both conditions on clustered random matrices.
+func pactRandomSweep(cfg Config) (ns []int, tw, two, cw, cwo []float64, caps int, err error) {
+	key := fmt.Sprintf("random/%d/%v/%d", cfg.Seed, cfg.Quick, cfg.Workers)
+	if v, ok := pactSweepCache.Load(key); ok {
+		r := v.(*pactSweepResult)
+		return r.ns, r.tw, r.two, r.cw, r.cwo, r.caps, r.err
+	}
+	ns, tw, two, cw, cwo, caps, err = pactRandomSweepUncached(cfg)
+	pactSweepCache.Store(key, &pactSweepResult{ns, tw, two, cw, cwo, caps, err})
+	return ns, tw, two, cw, cwo, caps, err
+}
+
+func pactRandomSweepUncached(cfg Config) (ns []int, tw, two, cw, cwo []float64, caps int, err error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ns = sweep(cfg, []int{10, 14, 18, 22, 26}, []int{8, 10})
+	reps := instances(cfg, 2)
+	for _, n := range ns {
+		var ts, tos, cs, cos []float64
+		for r := 0; r < reps; r++ {
+			m := blockRandom(rng, n)
+			t1, t2, c1, c2, capped, e := runBothConditions(m, cfg)
+			if e != nil {
+				return nil, nil, nil, nil, nil, 0, e
+			}
+			if capped {
+				caps++
+			}
+			ts = append(ts, t1)
+			tos = append(tos, t2)
+			cs = append(cs, c1)
+			cos = append(cos, c2)
+		}
+		tw = append(tw, Mean(ts))
+		two = append(two, Mean(tos))
+		cw = append(cw, Mean(cs))
+		cwo = append(cwo, Mean(cos))
+	}
+	return ns, tw, two, cw, cwo, caps, nil
+}
+
+// RunPact8 regenerates Figure 8: computing time for the random data set.
+func RunPact8(cfg Config) (*Figure, error) {
+	ns, tw, two, _, _, caps, err := pactRandomSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID: "pact8", Title: "computing time, random data (PaCT'05 Fig. 8)",
+		XLabel: "species", YLabel: "seconds (this host)",
+	}
+	bestSave, worstSave := 0.0, 1.0
+	for i, n := range ns {
+		f.X = append(f.X, float64(n))
+		f.AddPoint("with compact sets", tw[i])
+		f.AddPoint("without compact sets", two[i])
+		if two[i] > 0 {
+			save := 1 - tw[i]/two[i]
+			if save > bestSave {
+				bestSave = save
+			}
+			if save < worstSave {
+				worstSave = save
+			}
+		}
+	}
+	f.Note("time saved: best %.1f%%, worst %.1f%% (paper: 99.7%% / 77.19%%)",
+		100*bestSave, 100*worstSave)
+	if caps > 0 {
+		f.Note("%d runs hit the node cap; their times are lower bounds", caps)
+	}
+	return f, nil
+}
+
+// RunPact9 regenerates Figure 9: total tree cost for the random data set.
+func RunPact9(cfg Config) (*Figure, error) {
+	ns, _, _, cw, cwo, _, err := pactRandomSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID: "pact9", Title: "total tree cost, random data (PaCT'05 Fig. 9)",
+		XLabel: "species", YLabel: "tree cost ω(T)",
+	}
+	worstGap := 0.0
+	for i, n := range ns {
+		f.X = append(f.X, float64(n))
+		f.AddPoint("with compact sets", cw[i])
+		f.AddPoint("without compact sets", cwo[i])
+		if g := core.CostGap(cw[i], cwo[i]); g > worstGap {
+			worstGap = g
+		}
+	}
+	f.Note("largest cost difference %.2f%% (paper: < 5%%)", 100*worstGap)
+	return f, nil
+}
+
+// pactDNABatch drives figures 10–13: per-dataset cost and time on the
+// mtDNA surrogate.
+func pactDNABatch(cfg Config, species, datasets int) (idx []int, tw, two, cw, cwo []float64, caps int, err error) {
+	key := fmt.Sprintf("dna/%d/%v/%d/%d/%d", cfg.Seed, cfg.Quick, cfg.Workers, species, datasets)
+	if v, ok := pactSweepCache.Load(key); ok {
+		r := v.(*pactSweepResult)
+		return r.ns, r.tw, r.two, r.cw, r.cwo, r.caps, r.err
+	}
+	idx, tw, two, cw, cwo, caps, err = pactDNABatchUncached(cfg, species, datasets)
+	pactSweepCache.Store(key, &pactSweepResult{idx, tw, two, cw, cwo, caps, err})
+	return idx, tw, two, cw, cwo, caps, err
+}
+
+func pactDNABatchUncached(cfg Config, species, datasets int) (idx []int, tw, two, cw, cwo []float64, caps int, err error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(species)))
+	if cfg.Quick {
+		species = min(species, 12)
+		datasets = 3
+	}
+	for d := 0; d < datasets; d++ {
+		m := hmdna(rng, species)
+		t1, t2, c1, c2, capped, e := runBothConditions(m, cfg)
+		if e != nil {
+			return nil, nil, nil, nil, nil, 0, e
+		}
+		if capped {
+			caps++
+		}
+		idx = append(idx, d+1)
+		tw = append(tw, t1)
+		two = append(two, t2)
+		cw = append(cw, c1)
+		cwo = append(cwo, c2)
+	}
+	return idx, tw, two, cw, cwo, caps, nil
+}
+
+func pactDNAFigure(cfg Config, id, what string, species, datasets int, time bool, paperBand string) (*Figure, error) {
+	idx, tw, two, cw, cwo, caps, err := pactDNABatch(cfg, species, datasets)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID: id, Title: what, XLabel: "data set", YLabel: "seconds (this host)",
+	}
+	if !time {
+		f.YLabel = "tree cost ω(T)"
+	}
+	worstGap := 0.0
+	for i := range idx {
+		f.X = append(f.X, float64(idx[i]))
+		if time {
+			f.AddPoint("with compact sets", tw[i])
+			f.AddPoint("without compact sets", two[i])
+		} else {
+			f.AddPoint("with compact sets", cw[i])
+			f.AddPoint("without compact sets", cwo[i])
+			if g := core.CostGap(cw[i], cwo[i]); g > worstGap {
+				worstGap = g
+			}
+		}
+	}
+	if !time {
+		f.Note("largest cost difference %.2f%% (paper: %s)", 100*worstGap, paperBand)
+	}
+	if caps > 0 {
+		f.Note("%d runs hit the node cap", caps)
+	}
+	return f, nil
+}
+
+// RunPact10 regenerates Figure 10: tree cost over 15 data sets of 26
+// mtDNA-surrogate species.
+func RunPact10(cfg Config) (*Figure, error) {
+	return pactDNAFigure(cfg, "pact10",
+		"total tree cost, 26-species mtDNA surrogate (PaCT'05 Fig. 10)",
+		26, 15, false, "max 1.5%")
+}
+
+// RunPact11 regenerates Figure 11: computing time for the 26-species sets.
+func RunPact11(cfg Config) (*Figure, error) {
+	return pactDNAFigure(cfg, "pact11",
+		"computing time, 26-species mtDNA surrogate (PaCT'05 Fig. 11)",
+		26, 15, true, "")
+}
+
+// RunPact12 regenerates Figure 12: tree cost over 10 data sets of 30 DNAs.
+func RunPact12(cfg Config) (*Figure, error) {
+	return pactDNAFigure(cfg, "pact12",
+		"total tree cost, 30-species mtDNA surrogate (PaCT'05 Fig. 12)",
+		30, 10, false, "small, like 26 DNAs")
+}
+
+// RunPact13 regenerates Figure 13: computing time for the 30-species sets.
+func RunPact13(cfg Config) (*Figure, error) {
+	return pactDNAFigure(cfg, "pact13",
+		"computing time, 30-species mtDNA surrogate (PaCT'05 Fig. 13)",
+		30, 10, true, "")
+}

@@ -1,0 +1,139 @@
+// Package graph provides the complete weighted graph view of a distance
+// matrix, a union–find structure, and Kruskal's minimum spanning tree —
+// the machinery the compact-set algorithm of the paper is built on.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a weighted undirected edge between vertices U < V.
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// Weights is the read-only distance view a complete graph is induced from.
+// *matrix.Matrix satisfies it.
+type Weights interface {
+	Len() int
+	At(i, j int) float64
+}
+
+// CompleteEdges returns every unordered pair of vertices of w as an edge,
+// sorted ascending by weight (ties broken by (U, V) for determinism).
+func CompleteEdges(w Weights) []Edge {
+	n := w.Len()
+	edges := make([]Edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{U: i, V: j, Weight: w.At(i, j)})
+		}
+	}
+	SortEdges(edges)
+	return edges
+}
+
+// SortEdges orders edges ascending by weight, breaking ties by endpoints.
+func SortEdges(edges []Edge) {
+	sort.Slice(edges, func(a, b int) bool {
+		ea, eb := edges[a], edges[b]
+		if ea.Weight != eb.Weight {
+			return ea.Weight < eb.Weight
+		}
+		if ea.U != eb.U {
+			return ea.U < eb.U
+		}
+		return ea.V < eb.V
+	})
+}
+
+// UnionFind is a disjoint-set forest with union by rank and path
+// compression.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	size   []int
+	sets   int
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{
+		parent: make([]int, n),
+		rank:   make([]int, n),
+		size:   make([]int, n),
+		sets:   n,
+	}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing a and b; it reports whether a merge
+// happened (false if they were already together).
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	u.sets--
+	return true
+}
+
+// Size returns the size of x's set.
+func (u *UnionFind) Size(x int) int { return u.size[u.Find(x)] }
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }
+
+// MST computes a minimum spanning tree of the complete graph induced by w
+// using Kruskal's algorithm. The returned edges are in the ascending order
+// in which Kruskal accepted them — exactly the order Step 2 of the paper's
+// compact-set algorithm requires. An error is returned for n < 1.
+func MST(w Weights) ([]Edge, error) {
+	n := w.Len()
+	if n < 1 {
+		return nil, fmt.Errorf("graph: MST of empty vertex set")
+	}
+	uf := NewUnionFind(n)
+	out := make([]Edge, 0, n-1)
+	for _, e := range CompleteEdges(w) {
+		if uf.Union(e.U, e.V) {
+			out = append(out, e)
+			if len(out) == n-1 {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// TotalWeight sums the edge weights.
+func TotalWeight(edges []Edge) float64 {
+	var sum float64
+	for _, e := range edges {
+		sum += e.Weight
+	}
+	return sum
+}

@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"evotree/internal/matrix"
+)
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatalf("Sets = %d", uf.Sets())
+	}
+	if !uf.Union(0, 1) {
+		t.Fatal("first union must merge")
+	}
+	if uf.Union(1, 0) {
+		t.Fatal("repeated union must not merge")
+	}
+	uf.Union(2, 3)
+	uf.Union(0, 3)
+	if uf.Sets() != 2 {
+		t.Fatalf("Sets = %d, want 2", uf.Sets())
+	}
+	if uf.Find(1) != uf.Find(2) {
+		t.Fatal("1 and 2 must share a set")
+	}
+	if uf.Size(1) != 4 {
+		t.Fatalf("Size = %d, want 4", uf.Size(1))
+	}
+	if uf.Find(4) == uf.Find(0) {
+		t.Fatal("4 must be separate")
+	}
+}
+
+func TestCompleteEdgesSorted(t *testing.T) {
+	m := matrix.New(4)
+	m.Set(0, 1, 5)
+	m.Set(0, 2, 1)
+	m.Set(0, 3, 5) // tie with (0,1)
+	m.Set(1, 2, 3)
+	m.Set(1, 3, 2)
+	m.Set(2, 3, 4)
+	edges := CompleteEdges(m)
+	if len(edges) != 6 {
+		t.Fatalf("%d edges", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i].Weight < edges[i-1].Weight {
+			t.Fatal("edges not sorted")
+		}
+	}
+	// Deterministic tie break: (0,1) before (0,3).
+	if edges[4].U != 0 || edges[4].V != 1 || edges[5].V != 3 {
+		t.Fatalf("tie break wrong: %v", edges[4:])
+	}
+}
+
+func TestMSTAgainstBruteForce(t *testing.T) {
+	// For random small graphs, Kruskal's total weight equals the optimum
+	// found by enumerating all spanning trees (via Prim as a second
+	// implementation, which suffices as an independent check).
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		m := matrix.RandomMetric(rng, n, 1, 100)
+		mst, err := MST(m)
+		if err != nil || len(mst) != n-1 {
+			return false
+		}
+		// Connectivity check.
+		uf := NewUnionFind(n)
+		for _, e := range mst {
+			uf.Union(e.U, e.V)
+		}
+		if uf.Sets() != 1 {
+			return false
+		}
+		return math.Abs(TotalWeight(mst)-primWeight(m)) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// primWeight computes the MST weight with Prim's algorithm.
+func primWeight(m *matrix.Matrix) float64 {
+	n := m.Len()
+	inTree := make([]bool, n)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[0] = 0
+	total := 0.0
+	for it := 0; it < n; it++ {
+		best := -1
+		for v := 0; v < n; v++ {
+			if !inTree[v] && (best == -1 || dist[v] < dist[best]) {
+				best = v
+			}
+		}
+		inTree[best] = true
+		total += dist[best]
+		for v := 0; v < n; v++ {
+			if !inTree[v] && m.At(best, v) < dist[v] {
+				dist[v] = m.At(best, v)
+			}
+		}
+	}
+	return total
+}
+
+func TestMSTEmpty(t *testing.T) {
+	if _, err := MST(matrix.New(0)); err == nil {
+		t.Fatal("want error for empty graph")
+	}
+	mst, err := MST(matrix.New(1))
+	if err != nil || len(mst) != 0 {
+		t.Fatalf("n=1: %v %v", mst, err)
+	}
+}
+
+func TestMSTKruskalOrderAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := matrix.RandomMetric(rng, 10, 1, 100)
+	mst, err := MST(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(mst); i++ {
+		if mst[i].Weight < mst[i-1].Weight {
+			t.Fatal("Kruskal acceptance order must be ascending")
+		}
+	}
+}

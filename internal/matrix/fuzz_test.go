@@ -1,0 +1,38 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzParse hammers the matrix reader: any input must either parse into a
+// structurally valid matrix or fail cleanly — never panic.
+func FuzzParse(f *testing.F) {
+	f.Add("2\na 0 1\nb 1 0\n")
+	f.Add("3\na\nb 1\nc 1 2\n")
+	f.Add("3\na 0\nb 1 0\nc 1 2 0\n")
+	f.Add("# comment\n1\nsolo\n")
+	f.Add("")
+	f.Add("9999999999999999999999")
+	f.Add("2\na 0 1e308\nb 1e308 0\n")
+	rng := rand.New(rand.NewSource(1))
+	m := RandomMetric(rng, 6, 50, 100)
+	f.Add(m.String())
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		if err := m.Check(); err != nil {
+			t.Fatalf("parsed matrix fails Check: %v\ninput: %q", err, src)
+		}
+		// Round trip must be stable.
+		again, err := ParseString(m.String())
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.String() != m.String() {
+			t.Fatalf("round trip not a fixed point")
+		}
+	})
+}

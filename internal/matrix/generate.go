@@ -1,0 +1,117 @@
+package matrix
+
+import (
+	"math/rand"
+)
+
+// RandomMetric returns an n-species metric matrix with integer distances
+// drawn uniformly from [lo, hi]. When hi <= 2*lo every such matrix satisfies
+// the triangle inequality directly; otherwise the matrix is repaired with a
+// metric closure (all-pairs shortest paths), which only decreases entries and
+// keeps them within [min(lo, …), hi].
+//
+// The paper's random workloads draw values from 0..100; see Random0100.
+func RandomMetric(rng *rand.Rand, n, lo, hi int) *Matrix {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, float64(lo+rng.Intn(hi-lo+1)))
+		}
+	}
+	if hi > 2*lo {
+		metricClosure(m)
+	}
+	return m
+}
+
+// Random0100 reproduces the companion paper's random data sets: values drawn
+// from 0..100 and then repaired to a metric by closure (a raw uniform draw
+// over 0..100 is almost never a metric; the closure preserves the value
+// range and the uniform flavor of the workload).
+func Random0100(rng *rand.Rand, n int) *Matrix {
+	m := New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, float64(1+rng.Intn(100)))
+		}
+	}
+	metricClosure(m)
+	return m
+}
+
+// RandomUltrametric returns an exactly ultrametric matrix generated from a
+// random cluster hierarchy with heights in (0, maxHeight]. Useful as a
+// best-case workload and for validating IsUltrametric.
+func RandomUltrametric(rng *rand.Rand, n int, maxHeight float64) *Matrix {
+	m := New(n)
+	// Random recursive bipartition: species in different blocks at the top
+	// split are at distance 2*h, with h shrinking as we descend.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var split func(set []int, h float64)
+	split = func(set []int, h float64) {
+		if len(set) < 2 {
+			return
+		}
+		// Partition set into two non-empty halves at height h.
+		cut := 1 + rng.Intn(len(set)-1)
+		rng.Shuffle(len(set), func(i, j int) { set[i], set[j] = set[j], set[i] })
+		left, right := set[:cut], set[cut:]
+		for _, a := range left {
+			for _, b := range right {
+				m.Set(a, b, 2*h)
+			}
+		}
+		sub := h * (0.3 + 0.6*rng.Float64())
+		split(left, sub)
+		split(right, sub*(0.3+0.6*rng.Float64()))
+	}
+	split(idx, maxHeight/2)
+	return m
+}
+
+// PerturbedUltrametric adds uniform noise of relative magnitude eps to an
+// ultrametric matrix and then repairs it to a metric with a closure. With
+// small eps this models molecular-clock data measured with error — the
+// regime in which both the B&B and the compact-set technique are evaluated.
+func PerturbedUltrametric(rng *rand.Rand, n int, maxHeight, eps float64) *Matrix {
+	m := RandomUltrametric(rng, n, maxHeight)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := m.At(i, j) * (1 + eps*(2*rng.Float64()-1))
+			if v <= 0 {
+				v = m.At(i, j)
+			}
+			m.Set(i, j, v)
+		}
+	}
+	metricClosure(m)
+	return m
+}
+
+// metricClosure replaces each distance with the all-pairs shortest path
+// (Floyd–Warshall), yielding the largest metric dominated by the input.
+func metricClosure(m *Matrix) {
+	n := m.Len()
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if i == k {
+				continue
+			}
+			dik := m.d[i][k]
+			for j := 0; j < n; j++ {
+				if v := dik + m.d[k][j]; v < m.d[i][j] {
+					m.d[i][j] = v
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(3)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if got := m.Name(0); got != "S1" {
+		t.Fatalf("Name(0) = %q", got)
+	}
+	m.Set(0, 2, 7)
+	if m.At(0, 2) != 7 || m.At(2, 0) != 7 {
+		t.Fatal("Set must be symmetric")
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewWithNamesRejectsBadNames(t *testing.T) {
+	if _, err := NewWithNames([]string{"a", ""}); err == nil {
+		t.Fatal("want error for empty name")
+	}
+	if _, err := NewWithNames([]string{"a", "a"}); err == nil {
+		t.Fatal("want error for duplicate name")
+	}
+}
+
+func TestSetPanicsOnDiagonal(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for non-zero diagonal")
+		}
+	}()
+	m.Set(1, 1, 3)
+}
+
+func TestFromRowsValidation(t *testing.T) {
+	if _, err := FromRows([][]float64{{0, 1}, {1}}); err == nil {
+		t.Fatal("want error for ragged rows")
+	}
+	if _, err := FromRows([][]float64{{0, 1}, {2, 0}}); err == nil {
+		t.Fatal("want error for asymmetry")
+	}
+	if _, err := FromRows([][]float64{{0, -1}, {-1, 0}}); err == nil {
+		t.Fatal("want error for negative entries")
+	}
+	m, err := FromRows([][]float64{{0, 1}, {1, 0}})
+	if err != nil || m.At(0, 1) != 1 {
+		t.Fatalf("FromRows: %v", err)
+	}
+}
+
+func TestIsMetricAndUltrametric(t *testing.T) {
+	m, _ := FromRows([][]float64{
+		{0, 2, 2},
+		{2, 0, 1},
+		{2, 1, 0},
+	})
+	if !m.IsMetric() {
+		t.Fatal("metric matrix misclassified")
+	}
+	if !m.IsUltrametric() {
+		t.Fatal("ultrametric matrix misclassified")
+	}
+	bad, _ := FromRows([][]float64{
+		{0, 10, 1},
+		{10, 0, 1},
+		{1, 1, 0},
+	})
+	if bad.IsMetric() {
+		t.Fatal("triangle violation missed")
+	}
+	nonUltra, _ := FromRows([][]float64{
+		{0, 3, 2},
+		{3, 0, 1},
+		{2, 1, 0},
+	})
+	if !nonUltra.IsMetric() || nonUltra.IsUltrametric() {
+		t.Fatal("metric-but-not-ultrametric misclassified")
+	}
+}
+
+func TestMaxPairMinOff(t *testing.T) {
+	m := New(4)
+	m.Set(0, 1, 5)
+	m.Set(0, 2, 9)
+	m.Set(0, 3, 2)
+	m.Set(1, 2, 4)
+	m.Set(1, 3, 3)
+	m.Set(2, 3, 8)
+	i, j, d := m.MaxPair()
+	if i != 0 || j != 2 || d != 9 {
+		t.Fatalf("MaxPair = (%d,%d,%g)", i, j, d)
+	}
+	if m.MinOff() != 2 {
+		t.Fatalf("MinOff = %g", m.MinOff())
+	}
+	if m.MaxOff() != 9 {
+		t.Fatalf("MaxOff = %g", m.MaxOff())
+	}
+}
+
+func TestSubmatrixAndRelabel(t *testing.T) {
+	m := New(4)
+	m.Set(0, 1, 1)
+	m.Set(0, 2, 2)
+	m.Set(0, 3, 3)
+	m.Set(1, 2, 4)
+	m.Set(1, 3, 5)
+	m.Set(2, 3, 6)
+	s := m.Submatrix([]int{2, 0, 3})
+	if s.Len() != 3 || s.Name(0) != "S3" || s.At(0, 1) != 2 || s.At(0, 2) != 6 {
+		t.Fatalf("Submatrix wrong: %s", s)
+	}
+	r := m.Relabel([]int{3, 2, 1, 0})
+	if r.At(0, 1) != m.At(3, 2) || r.Name(0) != "S4" {
+		t.Fatal("Relabel wrong")
+	}
+}
+
+func TestRelabelRejectsNonPermutation(t *testing.T) {
+	m := New(3)
+	for _, perm := range [][]int{{0, 1}, {0, 0, 1}, {0, 1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("want panic for %v", perm)
+				}
+			}()
+			m.Relabel(perm)
+		}()
+	}
+}
+
+func TestMaxMinPermutationProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		m := RandomMetric(rng, n, 50, 100)
+		perm := m.MaxMinPermutation()
+		// Bijection over 0..n-1.
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || p >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return m.IsMaxMinPermutation(perm)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinPermutationTiny(t *testing.T) {
+	if got := New(0).MaxMinPermutation(); len(got) != 0 {
+		t.Fatal("n=0")
+	}
+	if got := New(1).MaxMinPermutation(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("n=1: %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New(2)
+	m.Set(0, 1, 4)
+	c := m.Clone()
+	c.Set(0, 1, 9)
+	if m.At(0, 1) != 4 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestSortedDistances(t *testing.T) {
+	m := New(3)
+	m.Set(0, 1, 3)
+	m.Set(0, 2, 1)
+	m.Set(1, 2, 2)
+	if got := m.SortedDistances(); !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Fatalf("SortedDistances = %v", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		m := RandomMetric(rng, n, 50, 100)
+		got, err := ParseString(m.String())
+		if err != nil {
+			return false
+		}
+		return got.String() == m.String()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `# a comment
+
+2
+a 0 1.5
+
+# another
+b 1.5 0
+`
+	m, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 || m.At(0, 1) != 1.5 || m.Name(1) != "b" {
+		t.Fatalf("parsed %s", m)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no header
+		"x",                     // bad count
+		"-1",                    // negative count
+		"2\na 0 1",              // missing row
+		"1\na 0 1",              // too many fields
+		"2\na 0 1\nb 2 0",       // asymmetric
+		"2\na 0 one\nb one 0",   // bad number
+		"2\na 0 -1\nb -1 0",     // negative
+		"2\na 1 0\nb 0 1",       // non-zero diagonal (a:1)
+		"2\ndup 0 1\ndup 1 0",   // duplicate names
+		"3\na 0 1 1\nb 1 0 1\n", // truncated
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("want error for %q", src)
+		}
+	}
+}
+
+func TestGeneratorsAreMetric(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		gens := []*Matrix{
+			RandomMetric(rng, n, 50, 100),
+			RandomMetric(rng, n, 1, 100), // triggers the closure path
+			Random0100(rng, n),
+			PerturbedUltrametric(rng, n, 100, 0.3),
+		}
+		for _, m := range gens {
+			if m.Check() != nil || !m.IsMetric() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomUltrametricIsUltrametric(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		m := RandomUltrametric(rng, n, 100)
+		return m.Check() == nil && m.IsUltrametric() && m.IsMetric()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomMetricRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := RandomMetric(rng, 12, 50, 100)
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			if d := m.At(i, j); d < 50 || d > 100 {
+				t.Fatalf("distance %g outside [50,100]", d)
+			}
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	m := New(2)
+	m.Set(0, 1, 2.5)
+	want := "2\nS1 0 2.5\nS2 2.5 0\n"
+	if got := m.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	var sb strings.Builder
+	if err := m.Write(&sb); err != nil || sb.String() != want {
+		t.Fatalf("Write = %q, %v", sb.String(), err)
+	}
+}
+
+func TestIsMaxMinPermutationRejects(t *testing.T) {
+	m := New(3)
+	m.Set(0, 1, 10)
+	m.Set(0, 2, 1)
+	m.Set(1, 2, 9.5)
+	// {2,...} cannot start a max-min permutation: the farthest pair is (0,1).
+	if m.IsMaxMinPermutation([]int{2, 0, 1}) {
+		t.Fatal("accepted a permutation not starting with the farthest pair")
+	}
+	if m.IsMaxMinPermutation([]int{0, 1}) {
+		t.Fatal("accepted wrong length")
+	}
+	if !m.IsMaxMinPermutation(m.MaxMinPermutation()) {
+		t.Fatal("rejected its own permutation")
+	}
+	if math.IsNaN(m.At(0, 1)) {
+		t.Fatal("unexpected NaN")
+	}
+}
+
+func TestParseLowerTriangular(t *testing.T) {
+	// PHYLIP lower triangle without the diagonal.
+	lower := `4
+a
+b 2
+c 8 8
+d 8 8 4
+`
+	m, err := ParseString(lower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(2, 3) != 4 || m.At(1, 3) != 8 {
+		t.Fatalf("lower parse wrong: %s", m)
+	}
+	// With the diagonal.
+	lowerDiag := `4
+a 0
+b 2 0
+c 8 8 0
+d 8 8 4 0
+`
+	m2, err := ParseString(lowerDiag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.String() != m.String() {
+		t.Fatalf("diag/no-diag disagree:\n%s\n%s", m2, m)
+	}
+	// Full square still parses.
+	m3, err := ParseString(m.String())
+	if err != nil || m3.String() != m.String() {
+		t.Fatalf("full square round trip: %v", err)
+	}
+	// Non-zero diagonal in lower+diag is rejected.
+	if _, err := ParseString("2\na 0\nb 2 1\n"); err == nil {
+		t.Fatal("want error for non-zero diagonal")
+	}
+	// Inconsistent shape is rejected.
+	if _, err := ParseString("3\na\nb 1\nc 1\n"); err == nil {
+		t.Fatal("want error for short row")
+	}
+	// n=1 in every shape.
+	for _, src := range []string{"1\nsolo\n", "1\nsolo 0\n"} {
+		m, err := ParseString(src)
+		if err != nil || m.Len() != 1 {
+			t.Fatalf("n=1 %q: %v", src, err)
+		}
+	}
+	// n=2 lower triangle with diagonal (the ambiguous case).
+	m4, err := ParseString("2\na 0\nb 5 0\n")
+	if err != nil || m4.At(0, 1) != 5 {
+		t.Fatalf("n=2 lower+diag: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package matrix
+
+import "math"
+
+// Analysis helpers used by the experiments and by users judging how
+// clock-like their data is before choosing a method.
+
+// UltrametricityIndex measures how far m is from satisfying the
+// three-point condition: the maximum over triples of
+// (M[i,j] − max(M[i,k], M[j,k])) / MaxOff, clamped at 0. Zero means
+// exactly ultrametric; values near 1 mean wildly non-clock-like.
+func (m *Matrix) UltrametricityIndex() float64 {
+	n := m.Len()
+	scale := m.MaxOff()
+	if scale == 0 {
+		return 0
+	}
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if k == i || k == j {
+					continue
+				}
+				if v := m.d[i][j] - math.Max(m.d[i][k], m.d[j][k]); v > worst {
+					worst = v
+				}
+			}
+		}
+	}
+	return worst / scale
+}
+
+// CopheneticCorrelation returns the Pearson correlation between the
+// entries of m and those of other over the same index set — the standard
+// measure of how well a tree's induced (cophenetic) distances fit the
+// data. Both matrices must have the same dimension. Returns 1 for fewer
+// than 2 pairs or zero variance on both sides, 0 when exactly one side
+// has zero variance.
+func (m *Matrix) CopheneticCorrelation(other *Matrix) float64 {
+	n := m.Len()
+	if other.Len() != n {
+		panic("matrix: CopheneticCorrelation dimension mismatch")
+	}
+	pairs := n * (n - 1) / 2
+	if pairs < 2 {
+		return 1
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sx += m.d[i][j]
+			sy += other.d[i][j]
+		}
+	}
+	mx, my := sx/float64(pairs), sy/float64(pairs)
+	var sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := m.d[i][j]-mx, other.d[i][j]-my
+			sxx += dx * dx
+			syy += dy * dy
+			sxy += dx * dy
+		}
+	}
+	switch {
+	case sxx == 0 && syy == 0:
+		return 1
+	case sxx == 0 || syy == 0:
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Stretch returns the mean relative slack of a dominating matrix:
+// mean over pairs of (other − m)/m, for m entries > 0. Callers use it to
+// quantify how much a feasible ultrametric tree over-estimates the input
+// distances (other = tree-induced distances).
+func (m *Matrix) Stretch(other *Matrix) float64 {
+	n := m.Len()
+	if other.Len() != n {
+		panic("matrix: Stretch dimension mismatch")
+	}
+	sum, cnt := 0.0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if m.d[i][j] <= 0 {
+				continue
+			}
+			sum += (other.d[i][j] - m.d[i][j]) / m.d[i][j]
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// InducedFromTree builds the cophenetic matrix of a tree-distance
+// function over n species with the same names as m.
+func (m *Matrix) InducedFromTree(dist func(i, j int) float64) *Matrix {
+	out := m.Clone()
+	n := m.Len()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out.Set(i, j, dist(i, j))
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUltrametricityIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	u := RandomUltrametric(rng, 10, 100)
+	if got := u.UltrametricityIndex(); got != 0 {
+		t.Fatalf("exact ultrametric index = %g, want 0", got)
+	}
+	// A path metric 0-1-2 with d(0,2)=2, d(0,1)=d(1,2)=1 violates the
+	// three-point condition by (2-1)/2 = 0.5.
+	m := New(3)
+	m.Set(0, 1, 1)
+	m.Set(1, 2, 1)
+	m.Set(0, 2, 2)
+	if got := m.UltrametricityIndex(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("index = %g, want 0.5", got)
+	}
+	if got := New(2).UltrametricityIndex(); got != 0 {
+		t.Fatalf("n=2 index = %g", got)
+	}
+}
+
+func TestCopheneticCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	m := RandomMetric(rng, 8, 50, 100)
+	if got := m.CopheneticCorrelation(m); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self correlation = %g", got)
+	}
+	// Affine transform preserves correlation 1.
+	scaled := m.Clone()
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			scaled.Set(i, j, 3*m.At(i, j)+7)
+		}
+	}
+	if got := m.CopheneticCorrelation(scaled); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("affine correlation = %g", got)
+	}
+	// Negated deviations give correlation −1.
+	neg := m.Clone()
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			neg.Set(i, j, 200-m.At(i, j))
+		}
+	}
+	if got := m.CopheneticCorrelation(neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("negated correlation = %g", got)
+	}
+	// Constant matrix: zero variance on one side.
+	flat := New(8)
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			flat.Set(i, j, 5)
+		}
+	}
+	if got := m.CopheneticCorrelation(flat); got != 0 {
+		t.Fatalf("flat correlation = %g", got)
+	}
+	if got := flat.CopheneticCorrelation(flat); got != 1 {
+		t.Fatalf("flat self correlation = %g", got)
+	}
+}
+
+func TestCorrelationBounded(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		a := RandomMetric(rng, n, 1, 100)
+		b := RandomMetric(rng, n, 1, 100)
+		c := a.CopheneticCorrelation(b)
+		return c >= -1-1e-9 && c <= 1+1e-9 &&
+			math.Abs(c-b.CopheneticCorrelation(a)) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStretch(t *testing.T) {
+	m := New(3)
+	m.Set(0, 1, 10)
+	m.Set(0, 2, 20)
+	m.Set(1, 2, 40)
+	double := m.Clone()
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			double.Set(i, j, 2*m.At(i, j))
+		}
+	}
+	if got := m.Stretch(double); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("stretch = %g, want 1", got)
+	}
+	if got := m.Stretch(m); got != 0 {
+		t.Fatalf("self stretch = %g", got)
+	}
+	if got := New(1).Stretch(New(1)); got != 0 {
+		t.Fatalf("empty stretch = %g", got)
+	}
+}
+
+func TestInducedFromTree(t *testing.T) {
+	m := New(3)
+	m.Set(0, 1, 1)
+	m.Set(0, 2, 2)
+	m.Set(1, 2, 3)
+	ind := m.InducedFromTree(func(i, j int) float64 { return float64(i + j) })
+	if ind.At(0, 1) != 1 || ind.At(1, 2) != 3 || ind.At(0, 2) != 2 {
+		t.Fatalf("induced = %s", ind)
+	}
+	if ind.Name(0) != m.Name(0) {
+		t.Fatal("names not carried over")
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	m, o := New(3), New(4)
+	for _, fn := range []func(){
+		func() { m.CopheneticCorrelation(o) },
+		func() { m.Stretch(o) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic on dimension mismatch")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,443 @@
+// Package pbb is the parallel branch-and-bound engine of the papers: a
+// master/slave search over goroutines in which
+//
+//   - the master relabels the species (max–min permutation), seeds the
+//     upper bound with UPGMM, applies the 3-3 constraint to the third
+//     species, branches the BBT until at least 2× the number of computing
+//     nodes of subproblems exist, sorts them by lower bound, and dispatches
+//     them cyclically;
+//   - every worker runs depth-first search on its sorted local pool, prunes
+//     against the shared global upper bound, publishes strict improvements
+//     to all other workers immediately, refills from the global pool when
+//     its local pool drains, and donates its least promising subproblem to
+//     the global pool whenever the global pool is empty (the paper's
+//     two-level load-balancing discipline).
+//
+// Because an improvement found by any worker prunes the others' subtrees
+// at once, the engine explores fewer nodes than the sequential search on
+// many instances — the effect behind the super-linear speedups reported in
+// the companion paper.
+package pbb
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"evotree/internal/bb"
+	"evotree/internal/matrix"
+	"evotree/internal/tree"
+)
+
+// Options configure a parallel solve.
+type Options struct {
+	bb.Options
+	// Workers is the number of computing nodes (goroutines). Zero or
+	// negative means 1.
+	Workers int
+	// InitialFanout is how many subproblems per worker the master creates
+	// before dispatching. The paper uses 2 ("2 times of total nodes in the
+	// computing environment").
+	InitialFanout int
+}
+
+// DefaultOptions mirrors the papers' setup with the given worker count.
+func DefaultOptions(workers int) Options {
+	return Options{Options: bb.DefaultOptions(), Workers: workers, InitialFanout: 2}
+}
+
+// Result extends the sequential result with parallel bookkeeping.
+type Result struct {
+	bb.Result
+	WorkerStats []bb.Stats // per-worker search statistics
+	PoolGets    int64      // subproblems pulled from the global pool
+	PoolPuts    int64      // subproblems donated to the global pool
+	MasterNodes int        // subproblems created by the master before dispatch
+}
+
+// Solve runs the parallel branch-and-bound on m.
+func Solve(m *matrix.Matrix, opt Options) (*Result, error) {
+	p, err := bb.NewProblem(m, opt.UseMaxMin)
+	if err != nil {
+		return nil, err
+	}
+	return SolveProblem(p, opt), nil
+}
+
+// SolveProblem runs the parallel search on an existing problem instance.
+func SolveProblem(p *bb.Problem, opt Options) *Result {
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+	if opt.InitialFanout < 1 {
+		opt.InitialFanout = 2
+	}
+	res := &Result{WorkerStats: make([]bb.Stats, opt.Workers)}
+	res.Optimal = true
+
+	inc := newIncumbent(opt.CollectAll)
+	ubTree, ub := p.InitialUpperBound()
+	if opt.InitialUB > 0 && opt.InitialUB < ub {
+		ub, ubTree = opt.InitialUB, nil
+	}
+	inc.seed(ub, ubTree)
+
+	// Master phase: breadth-first branching until the frontier is large
+	// enough to feed every worker (Steps 1–5).
+	target := opt.InitialFanout * opt.Workers
+	frontier := []*bb.PNode{p.Root()}
+	var masterStats bb.Stats
+	for len(frontier) > 0 && len(frontier) < target {
+		// Expand the shallowest node first so the frontier stays level.
+		v := frontier[0]
+		frontier = frontier[1:]
+		if v.Complete(p) {
+			inc.offer(p, v, opt.CollectAll, &masterStats)
+			continue
+		}
+		masterStats.Expanded++
+		children := p.Expand(v, opt.Constraints)
+		masterStats.Generated += int64(len(children))
+		for _, ch := range children {
+			if ch.LB >= inc.bound() && !(opt.CollectAll && ch.LB == inc.bound()) {
+				masterStats.PrunedLB++
+				continue
+			}
+			if ch.Complete(p) {
+				inc.offer(p, ch, opt.CollectAll, &masterStats)
+				continue
+			}
+			frontier = append(frontier, ch)
+		}
+	}
+	res.MasterNodes = len(frontier)
+	sortByLB(frontier)
+
+	// Step 6: cyclic dispatch; a 1/(workers+1) share stays in the global
+	// pool (the paper's master "preserves 1/p nodes in GP").
+	gp := newGlobalPool()
+	locals := make([][]*bb.PNode, opt.Workers)
+	for i, v := range frontier {
+		slot := i % (opt.Workers + 1)
+		if slot == opt.Workers {
+			gp.put(v)
+		} else {
+			locals[slot] = append(locals[slot], v)
+		}
+	}
+	gp.addInFlight(len(frontier))
+	if len(frontier) == 0 {
+		// The master phase already exhausted the search (tiny instance or
+		// total pruning); release the workers immediately.
+		gp.markDone()
+	}
+
+	// Step 7: workers. The expansion budget (Options.MaxNodes) is shared:
+	// workers decrement one atomic counter and stop expanding when it runs
+	// out, exactly like a cooperative cancellation.
+	var budget *atomic.Int64
+	if opt.MaxNodes > 0 {
+		budget = &atomic.Int64{}
+		budget.Store(opt.MaxNodes - masterStats.Expanded)
+	}
+	var wg sync.WaitGroup
+	cancelled := make([]bool, opt.Workers)
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cancelled[w] = runWorker(p, opt, gp, inc, locals[w], &res.WorkerStats[w], budget)
+		}(w)
+	}
+	wg.Wait()
+	for _, c := range cancelled {
+		if c {
+			res.Optimal = false
+		}
+	}
+
+	// Step 8: gather.
+	res.Stats = masterStats
+	for i := range res.WorkerStats {
+		res.Stats.Add(res.WorkerStats[i])
+	}
+	res.PoolGets, res.PoolPuts = gp.gets, gp.puts
+	res.Cost = inc.bound()
+	res.Tree = inc.tree
+	res.Trees = inc.trees
+	res.Stats.Solutions = inc.solutions
+	res.Stats.UBUpdates = inc.updates
+	if res.Tree == nil && ubTree != nil {
+		res.Tree = ubTree
+	}
+	return res
+}
+
+// runWorker is the paper's Step 7 loop for one computing node. It reports
+// whether it stopped early (context cancelled or shared expansion budget
+// exhausted).
+func runWorker(p *bb.Problem, opt Options, gp *globalPool, inc *incumbent,
+	local []*bb.PNode, stats *bb.Stats, budget *atomic.Int64) bool {
+	cancelled := false
+	done := func() bool {
+		if cancelled {
+			return true
+		}
+		if budget != nil && budget.Load() <= 0 {
+			cancelled = true
+			return true
+		}
+		if opt.Ctx == nil {
+			return false
+		}
+		select {
+		case <-opt.Ctx.Done():
+			cancelled = true
+		default:
+		}
+		return cancelled
+	}
+	// The local pool is kept sorted by descending LB so the tail (popped
+	// by DFS) is the most promising node and the head (donated to the
+	// global pool) is the least promising one.
+	sortByLBDesc(local)
+	for {
+		if len(local) == 0 {
+			v, ok := gp.get()
+			if !ok {
+				return cancelled
+			}
+			local = append(local, v)
+		}
+		if done() {
+			// Drain without expanding so termination detection still
+			// reaches zero and every worker exits promptly.
+			gp.finish(len(local))
+			local = local[:0]
+			continue
+		}
+		if len(local) > stats.MaxPoolLen {
+			stats.MaxPoolLen = len(local)
+		}
+		v := local[len(local)-1]
+		local = local[:len(local)-1]
+
+		ub := inc.bound()
+		if v.LB > ub || (!opt.CollectAll && v.LB == ub) {
+			stats.PrunedLB++
+			gp.finish(1)
+			continue
+		}
+		if v.Complete(p) {
+			inc.offer(p, v, opt.CollectAll, stats)
+			gp.finish(1)
+			continue
+		}
+		stats.Expanded++
+		if budget != nil {
+			budget.Add(-1)
+		}
+		children := p.Expand(v, opt.Constraints)
+		stats.Generated += int64(len(children))
+		added := 0
+		for i := len(children) - 1; i >= 0; i-- {
+			ch := children[i]
+			ub := inc.bound()
+			if ch.LB > ub || (!opt.CollectAll && ch.LB == ub) {
+				stats.PrunedLB++
+				continue
+			}
+			if ch.Complete(p) {
+				inc.offer(p, ch, opt.CollectAll, stats)
+				continue
+			}
+			local = append(local, ch)
+			added++
+		}
+		gp.addInFlight(added)
+		gp.finish(1)
+		// Two-level load balancing: when the global pool has run dry and
+		// we still hold spare work, donate our least promising node.
+		if added > 0 && gp.empty() && len(local) > 1 {
+			gp.put(local[0])
+			local = local[1:]
+		}
+	}
+}
+
+// ---- incumbent (shared upper bound + best trees) ----
+
+type incumbent struct {
+	mu         sync.Mutex
+	ub         float64
+	tree       *tree.Tree
+	trees      []*tree.Tree
+	collectAll bool
+	solutions  int64
+	updates    int64
+}
+
+func newIncumbent(collectAll bool) *incumbent {
+	return &incumbent{ub: math.Inf(1), collectAll: collectAll}
+}
+
+func (c *incumbent) seed(ub float64, t *tree.Tree) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ub = ub
+	c.tree = t
+	if c.collectAll && t != nil {
+		c.trees = []*tree.Tree{t}
+	}
+}
+
+// bound returns the current global upper bound. A mutex-guarded read keeps
+// the code obviously correct; the critical section is two loads.
+func (c *incumbent) bound() float64 {
+	c.mu.Lock()
+	ub := c.ub
+	c.mu.Unlock()
+	return ub
+}
+
+// offer records a complete topology, updating the shared bound when it is a
+// strict improvement — the "update the GUB to every node" broadcast of the
+// paper (shared memory makes the broadcast implicit).
+func (c *incumbent) offer(p *bb.Problem, v *bb.PNode, collectAll bool, stats *bb.Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case v.Cost < c.ub:
+		c.ub = v.Cost
+		c.tree = v.Tree(p)
+		c.updates++
+		c.solutions = 1
+		if collectAll {
+			c.trees = c.trees[:0]
+			c.trees = append(c.trees, c.tree)
+		}
+	case v.Cost == c.ub:
+		c.solutions++
+		if collectAll {
+			c.trees = append(c.trees, v.Tree(p))
+		}
+		if c.tree == nil {
+			c.tree = v.Tree(p)
+		}
+	}
+}
+
+// ---- global pool ----
+
+// globalPool is the master-side pool of the two-level load balancer plus
+// the termination detector: inFlight counts subproblems that exist anywhere
+// (local pools, global pool, or in a worker's hands); when it reaches zero
+// the search is over and all blocked getters are released.
+type globalPool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []*bb.PNode
+	inFlight int
+	done     bool
+	gets     int64
+	puts     int64
+}
+
+func newGlobalPool() *globalPool {
+	gp := &globalPool{}
+	gp.cond = sync.NewCond(&gp.mu)
+	return gp
+}
+
+func (gp *globalPool) addInFlight(n int) {
+	if n == 0 {
+		return
+	}
+	gp.mu.Lock()
+	gp.inFlight += n
+	gp.mu.Unlock()
+}
+
+// finish marks n subproblems fully processed.
+func (gp *globalPool) finish(n int) {
+	gp.mu.Lock()
+	gp.inFlight -= n
+	if gp.inFlight < 0 {
+		gp.mu.Unlock()
+		panic(fmt.Sprintf("pbb: inFlight underflow (%d)", gp.inFlight))
+	}
+	if gp.inFlight == 0 {
+		gp.done = true
+		gp.cond.Broadcast()
+	}
+	gp.mu.Unlock()
+}
+
+// markDone terminates the pool regardless of the in-flight count; used
+// when the master phase leaves no work to dispatch.
+func (gp *globalPool) markDone() {
+	gp.mu.Lock()
+	gp.done = true
+	gp.cond.Broadcast()
+	gp.mu.Unlock()
+}
+
+func (gp *globalPool) put(v *bb.PNode) {
+	gp.mu.Lock()
+	gp.items = append(gp.items, v)
+	gp.puts++
+	gp.cond.Broadcast()
+	gp.mu.Unlock()
+}
+
+// get blocks until a subproblem is available or the search has terminated.
+func (gp *globalPool) get() (*bb.PNode, bool) {
+	gp.mu.Lock()
+	defer gp.mu.Unlock()
+	for len(gp.items) == 0 && !gp.done {
+		gp.cond.Wait()
+	}
+	if len(gp.items) == 0 {
+		return nil, false
+	}
+	// Hand out the most promising pooled node (lowest LB).
+	best := 0
+	for i, v := range gp.items {
+		if v.LB < gp.items[best].LB {
+			best = i
+		}
+	}
+	v := gp.items[best]
+	gp.items[best] = gp.items[len(gp.items)-1]
+	gp.items = gp.items[:len(gp.items)-1]
+	gp.gets++
+	return v, true
+}
+
+func (gp *globalPool) empty() bool {
+	gp.mu.Lock()
+	e := len(gp.items) == 0 && !gp.done
+	gp.mu.Unlock()
+	return e
+}
+
+// ---- sorting helpers ----
+
+func sortByLB(nodes []*bb.PNode) {
+	insertionSortBy(nodes, func(a, b *bb.PNode) bool { return a.LB < b.LB })
+}
+
+func sortByLBDesc(nodes []*bb.PNode) {
+	insertionSortBy(nodes, func(a, b *bb.PNode) bool { return a.LB > b.LB })
+}
+
+// insertionSortBy keeps the dependency footprint minimal and is stable;
+// frontiers are small (a few times the worker count).
+func insertionSortBy(nodes []*bb.PNode, less func(a, b *bb.PNode) bool) {
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && less(nodes[j], nodes[j-1]); j-- {
+			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package seqsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"evotree/internal/matrix"
+)
+
+// FASTA I/O: the interchange format biologists would feed the system with
+// real sequences. ReadFASTA plus MatrixFromSequences is the path from a
+// sequence file to the distance matrix the tree builders consume.
+
+// Record is one FASTA entry.
+type Record struct {
+	Name string
+	Seq  []byte
+}
+
+// WriteFASTA writes records in FASTA format, wrapping sequence lines at 70
+// columns.
+func WriteFASTA(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		if _, err := fmt.Fprintf(bw, ">%s\n", r.Name); err != nil {
+			return err
+		}
+		for off := 0; off < len(r.Seq); off += 70 {
+			end := off + 70
+			if end > len(r.Seq) {
+				end = len(r.Seq)
+			}
+			if _, err := bw.Write(r.Seq[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTA parses FASTA records. Sequence characters are upper-cased;
+// whitespace inside sequences is ignored. Only A, C, G, T and N are
+// accepted (N is kept as-is and never matches in Hamming comparisons by
+// convention of the callers).
+func ReadFASTA(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var out []Record
+	var cur *Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ">") {
+			name := strings.TrimSpace(text[1:])
+			if name == "" {
+				return nil, fmt.Errorf("seqsim: fasta line %d: empty record name", line)
+			}
+			out = append(out, Record{Name: name})
+			cur = &out[len(out)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("seqsim: fasta line %d: sequence before first header", line)
+		}
+		for _, c := range []byte(strings.ToUpper(text)) {
+			switch c {
+			case 'A', 'C', 'G', 'T', 'N':
+				cur.Seq = append(cur.Seq, c)
+			case ' ', '\t':
+			default:
+				return nil, fmt.Errorf("seqsim: fasta line %d: invalid base %q", line, c)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("seqsim: empty fasta input")
+	}
+	return out, nil
+}
+
+// MatrixFromSequences builds the Hamming distance matrix over equal-length
+// sequences. Sites where either sequence has an N are skipped (treated as
+// missing data).
+func MatrixFromSequences(records []Record) (*matrix.Matrix, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("seqsim: no sequences")
+	}
+	want := len(records[0].Seq)
+	names := make([]string, len(records))
+	for i, r := range records {
+		if len(r.Seq) != want {
+			return nil, fmt.Errorf("seqsim: sequence %q has length %d, want %d (align first)",
+				r.Name, len(r.Seq), want)
+		}
+		names[i] = r.Name
+	}
+	m, err := matrix.NewWithNames(names)
+	if err != nil {
+		return nil, err
+	}
+	for i := range records {
+		for j := i + 1; j < len(records); j++ {
+			d := 0
+			a, b := records[i].Seq, records[j].Seq
+			for k := range a {
+				if a[k] == 'N' || b[k] == 'N' {
+					continue
+				}
+				if a[k] != b[k] {
+					d++
+				}
+			}
+			m.Set(i, j, float64(d))
+		}
+	}
+	return m, nil
+}
+
+// Records converts a dataset's sequences into FASTA records named by the
+// matrix species names.
+func (d *Dataset) Records() []Record {
+	out := make([]Record, len(d.Sequences))
+	for i, s := range d.Sequences {
+		out[i] = Record{Name: d.Matrix.Name(i), Seq: s}
+	}
+	return out
+}

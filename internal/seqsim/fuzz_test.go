@@ -1,0 +1,39 @@
+package seqsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFASTA: arbitrary input must never panic; successful parses must
+// write back and re-parse to the same records.
+func FuzzReadFASTA(f *testing.F) {
+	f.Add(">a\nACGT\n>b\nTTTT\n")
+	f.Add(">x\nACG\nTAC\n")
+	f.Add(">n only\nNNNN\n")
+	f.Add("")
+	f.Add(">\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		records, err := ReadFASTA(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFASTA(&buf, records); err != nil {
+			t.Fatalf("write back failed: %v", err)
+		}
+		again, err := ReadFASTA(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(again) != len(records) {
+			t.Fatalf("record count changed: %d vs %d", len(again), len(records))
+		}
+		for i := range again {
+			if again[i].Name != records[i].Name || string(again[i].Seq) != string(records[i].Seq) {
+				t.Fatalf("record %d changed across round trip", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package seqsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"evotree/internal/matrix"
+	"evotree/internal/tree"
+)
+
+// Kimura two-parameter (K80) substitution model: transitions (A↔G, C↔T)
+// occur at a different rate than transversions. The Jukes–Cantor model is
+// the special case kappa = 1 (equal rates). The simulator extension lets
+// the experiments probe how rate structure affects matrix ultrametricity
+// and search hardness.
+
+// K80Params extends Params with the transition/transversion rate ratio.
+type K80Params struct {
+	Params
+	Kappa float64 // transition/transversion ratio; 1 == Jukes–Cantor; default 4
+}
+
+// purine reports whether base b is A or G.
+func purine(b byte) bool { return b == 'A' || b == 'G' }
+
+// transitionOf returns the transition partner of b (A↔G, C↔T).
+func transitionOf(b byte) byte {
+	switch b {
+	case 'A':
+		return 'G'
+	case 'G':
+		return 'A'
+	case 'C':
+		return 'T'
+	default:
+		return 'C'
+	}
+}
+
+// k80Probs returns (pTransition, pTransversionEach) for branch length ell
+// (expected substitutions per site) under K80 with ratio kappa, from the
+// spectral solution of the K80 rate matrix. With rates α (transition) and
+// β (each transversion), the per-site rate is α + 2β and κ = α/β:
+//
+//	P(transition)          = ¼ + ¼·e^(−4βℓ̂) − ½·e^(−2(α+β)ℓ̂)
+//	P(specific transversion) = ¼ − ¼·e^(−4βℓ̂)
+//
+// where time ℓ̂ is scaled so that α+2β equals ℓ per site.
+func k80Probs(ell, kappa float64) (pTs, pTvEach float64) {
+	if ell <= 0 {
+		return 0, 0
+	}
+	if kappa <= 0 {
+		kappa = 1
+	}
+	// Normalize: with beta = 1/(kappa+2), alpha = kappa*beta, the total
+	// substitution rate alpha+2*beta equals 1, so time t = ell.
+	beta := 1.0 / (kappa + 2)
+	alpha := kappa * beta
+	e1 := math.Exp(-4 * beta * ell)
+	e2 := math.Exp(-2 * (alpha + beta) * ell)
+	pTs = 0.25 + 0.25*e1 - 0.5*e2
+	pTvEach = 0.25 - 0.25*e1
+	if pTs < 0 {
+		pTs = 0
+	}
+	if pTvEach < 0 {
+		pTvEach = 0
+	}
+	return pTs, pTvEach
+}
+
+// GenerateK80 simulates one dataset under the Kimura two-parameter model.
+func GenerateK80(rng *rand.Rand, p K80Params) (*Dataset, error) {
+	pp := p.Params.withDefaults()
+	if p.Kappa == 0 {
+		p.Kappa = 4
+	}
+	if pp.Species < 1 {
+		return nil, fmt.Errorf("seqsim: need at least 1 species, got %d", pp.Species)
+	}
+	t := CoalescentTree(rng, pp.Species)
+	seqs := evolveK80(rng, t, pp, p.Kappa)
+	names := make([]string, pp.Species)
+	for i := range names {
+		names[i] = fmt.Sprintf("mt%02d", i+1)
+	}
+	m, err := newHammingMatrix(names, seqs)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{Matrix: m, Sequences: seqs, TrueTree: t}, nil
+}
+
+func evolveK80(rng *rand.Rand, t *tree.Tree, p Params, kappa float64) [][]byte {
+	seqs := make([][]byte, p.Species)
+	root := make([]byte, p.SeqLen)
+	for i := range root {
+		root[i] = Alphabet[rng.Intn(4)]
+	}
+	var walk func(id int, seq []byte)
+	walk = func(id int, seq []byte) {
+		n := t.Nodes[id]
+		if n.Species >= 0 {
+			seqs[n.Species] = seq
+			return
+		}
+		for _, ch := range []int{n.Left, n.Right} {
+			ell := (n.Height - t.Nodes[ch].Height) * p.Rate
+			walk(ch, mutateK80(rng, seq, ell, kappa))
+		}
+	}
+	walk(t.Root, root)
+	return seqs
+}
+
+func mutateK80(rng *rand.Rand, seq []byte, ell, kappa float64) []byte {
+	pTs, pTv := k80Probs(ell, kappa)
+	out := append([]byte(nil), seq...)
+	for i := range out {
+		u := rng.Float64()
+		switch {
+		case u < pTs:
+			out[i] = transitionOf(out[i])
+		case u < pTs+2*pTv:
+			// One of the two transversion targets, uniformly.
+			if purine(out[i]) {
+				out[i] = []byte{'C', 'T'}[rng.Intn(2)]
+			} else {
+				out[i] = []byte{'A', 'G'}[rng.Intn(2)]
+			}
+		}
+	}
+	return out
+}
+
+// K2PDistance estimates the evolutionary distance from the observed
+// transition fraction P and transversion fraction Q (Kimura's formula):
+// −½·ln((1−2P−Q)·√(1−2Q)). Returns +Inf when the logs saturate.
+func K2PDistance(pFrac, qFrac float64) float64 {
+	a := 1 - 2*pFrac - qFrac
+	b := 1 - 2*qFrac
+	if a <= 0 || b <= 0 {
+		return math.Inf(1)
+	}
+	return -0.5*math.Log(a) - 0.25*math.Log(b)
+}
+
+// TsTvCounts returns the number of transition and transversion sites
+// between two equal-length sequences.
+func TsTvCounts(a, b []byte) (ts, tv int) {
+	if len(a) != len(b) {
+		panic("seqsim: TsTvCounts over sequences of different length")
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			continue
+		}
+		if purine(a[i]) == purine(b[i]) {
+			ts++
+		} else {
+			tv++
+		}
+	}
+	return ts, tv
+}
+
+// newHammingMatrix builds the integer Hamming matrix for named sequences.
+func newHammingMatrix(names []string, seqs [][]byte) (*matrix.Matrix, error) {
+	m, err := matrix.NewWithNames(names)
+	if err != nil {
+		return nil, err
+	}
+	for i := range seqs {
+		for j := i + 1; j < len(seqs); j++ {
+			m.Set(i, j, float64(Hamming(seqs[i], seqs[j])))
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,176 @@
+package seqsim
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestK80ProbsLimits(t *testing.T) {
+	// Zero branch: no change.
+	ts, tv := k80Probs(0, 4)
+	if ts != 0 || tv != 0 {
+		t.Fatalf("zero branch: %g %g", ts, tv)
+	}
+	// Long branch: saturates to uniform (¼ each target).
+	ts, tv = k80Probs(100, 4)
+	if math.Abs(ts-0.25) > 1e-6 || math.Abs(tv-0.25) > 1e-6 {
+		t.Fatalf("saturation: ts %g tv %g", ts, tv)
+	}
+	// kappa = 1 must equal Jukes–Cantor: total change prob
+	// ¾(1−e^(−4ℓ/3)) and transitions = each transversion direction.
+	for _, ell := range []float64{0.01, 0.1, 0.5, 1} {
+		ts, tv = k80Probs(ell, 1)
+		if math.Abs(ts-tv) > 1e-9 {
+			t.Fatalf("kappa=1 must be symmetric: ts %g tv %g", ts, tv)
+		}
+		jc := 0.75 * (1 - math.Exp(-4*ell/3))
+		if got := ts + 2*tv; math.Abs(got-jc) > 1e-9 {
+			t.Fatalf("kappa=1 total %g, JC %g at ell=%g", got, jc, ell)
+		}
+	}
+	// Total substitution probability is increasing in ell.
+	prev := 0.0
+	for _, ell := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+		ts, tv = k80Probs(ell, 4)
+		tot := ts + 2*tv
+		if tot <= prev {
+			t.Fatalf("total change prob not increasing at ell=%g", ell)
+		}
+		prev = tot
+	}
+}
+
+func TestK80TransitionBias(t *testing.T) {
+	// With kappa >> 1 transitions must dominate transversions among
+	// observed differences.
+	rng := rand.New(rand.NewSource(70))
+	ds, err := GenerateK80(rng, K80Params{
+		Params: Params{Species: 10, SeqLen: 4000, Rate: 0.3},
+		Kappa:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsTot, tvTot := 0, 0
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			ts, tv := TsTvCounts(ds.Sequences[i], ds.Sequences[j])
+			tsTot += ts
+			tvTot += tv
+		}
+	}
+	if tsTot <= tvTot {
+		t.Fatalf("kappa=8 should favor transitions: ts %d, tv %d", tsTot, tvTot)
+	}
+	if err := ds.Matrix.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Matrix.IsMetric() {
+		t.Fatal("K80 Hamming matrix must be metric")
+	}
+}
+
+func TestK2PDistance(t *testing.T) {
+	if d := K2PDistance(0, 0); d != 0 {
+		t.Fatalf("K2P(0,0) = %g", d)
+	}
+	if d := K2PDistance(0.5, 0.2); !math.IsInf(d, 1) {
+		t.Fatalf("saturated K2P = %g", d)
+	}
+	// Must reduce to a sensible positive estimate for small fractions and
+	// exceed the raw p-distance.
+	if d := K2PDistance(0.08, 0.04); d <= 0.12 {
+		t.Fatalf("K2P(0.08,0.04) = %g, want > raw 0.12", d)
+	}
+}
+
+func TestTsTvCounts(t *testing.T) {
+	ts, tv := TsTvCounts([]byte("AGCT"), []byte("GACT"))
+	if ts != 2 || tv != 0 {
+		t.Fatalf("ts %d tv %d, want 2 0", ts, tv)
+	}
+	ts, tv = TsTvCounts([]byte("AC"), []byte("CA"))
+	if ts != 0 || tv != 2 {
+		t.Fatalf("ts %d tv %d, want 0 2", ts, tv)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on length mismatch")
+		}
+	}()
+	TsTvCounts([]byte("A"), []byte("AC"))
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ds, err := Generate(rng, Params{Species: 5, SeqLen: 153})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, ds.Records()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 5 {
+		t.Fatalf("%d records", len(records))
+	}
+	for i, r := range records {
+		if r.Name != ds.Matrix.Name(i) {
+			t.Fatalf("record %d name %q", i, r.Name)
+		}
+		if !bytes.Equal(r.Seq, ds.Sequences[i]) {
+			t.Fatalf("record %d sequence mismatch", i)
+		}
+	}
+	// The matrix built from the FASTA round trip equals the original.
+	m, err := MatrixFromSequences(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != ds.Matrix.String() {
+		t.Fatal("matrix mismatch after FASTA round trip")
+	}
+}
+
+func TestReadFASTAHandlesNAndErrors(t *testing.T) {
+	records, err := ReadFASTA(strings.NewReader(">a\nACGN\n>b\nAC GT\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(records[0].Seq) != "ACGN" || string(records[1].Seq) != "ACGT" {
+		t.Fatalf("records = %+v", records)
+	}
+	// N sites are skipped in distances.
+	m, err := MatrixFromSequences(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 0 {
+		t.Fatalf("N-masked distance = %g, want 0", m.At(0, 1))
+	}
+	for _, bad := range []string{
+		"",           // empty
+		"ACGT\n",     // sequence before header
+		">\nACGT\n",  // empty name
+		">a\nACGX\n", // invalid base
+	} {
+		if _, err := ReadFASTA(strings.NewReader(bad)); err == nil {
+			t.Errorf("want error for %q", bad)
+		}
+	}
+	// Length mismatch is rejected at matrix construction.
+	recs := []Record{{Name: "a", Seq: []byte("ACG")}, {Name: "b", Seq: []byte("AC")}}
+	if _, err := MatrixFromSequences(recs); err == nil {
+		t.Error("want error for unequal lengths")
+	}
+	if _, err := MatrixFromSequences(nil); err == nil {
+		t.Error("want error for no sequences")
+	}
+}

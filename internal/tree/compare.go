@@ -1,0 +1,109 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file provides topology-comparison utilities used by the accuracy
+// experiments: clade extraction and the Robinson–Foulds distance.
+
+// CladeSet returns the non-trivial clades of t (leaf sets of internal
+// nodes excluding the root's full set and singletons), each encoded as a
+// canonical comma-joined string of sorted species indices.
+func (t *Tree) CladeSet() map[string]bool {
+	out := make(map[string]bool)
+	total := t.LeafCount()
+	var walk func(id int) []int
+	walk = func(id int) []int {
+		n := &t.Nodes[id]
+		if n.Species >= 0 {
+			return []int{n.Species}
+		}
+		leaves := append(walk(n.Left), walk(n.Right)...)
+		if len(leaves) > 1 && len(leaves) < total {
+			out[cladeKey(leaves)] = true
+		}
+		return leaves
+	}
+	if len(t.Nodes) > 0 {
+		walk(t.Root)
+	}
+	return out
+}
+
+func cladeKey(leaves []int) string {
+	s := append([]int(nil), leaves...)
+	sort.Ints(s)
+	parts := make([]string, len(s))
+	for i, v := range s {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// RobinsonFoulds returns the symmetric-difference distance between the
+// clade sets of two trees over the same species, along with the maximum
+// possible value (so callers can normalize). Trees over different leaf
+// sets yield an error.
+func RobinsonFoulds(a, b *Tree) (dist, max int, err error) {
+	la, lb := a.Leaves(), b.Leaves()
+	if !sameLeafSet(la, lb) {
+		return 0, 0, fmt.Errorf("tree: RobinsonFoulds over different leaf sets")
+	}
+	ca, cb := a.CladeSet(), b.CladeSet()
+	for k := range ca {
+		if !cb[k] {
+			dist++
+		}
+	}
+	for k := range cb {
+		if !ca[k] {
+			dist++
+		}
+	}
+	return dist, len(ca) + len(cb), nil
+}
+
+func sameLeafSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[int]bool, len(a))
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		if !seen[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// TripleAgreement returns the fraction of species triples on which the
+// two trees agree about which pair is closest (1.0 = identical relation
+// structure). Both trees must share the same leaf set.
+func TripleAgreement(a, b *Tree) (float64, error) {
+	la := a.Leaves()
+	if !sameLeafSet(la, b.Leaves()) {
+		return 0, fmt.Errorf("tree: TripleAgreement over different leaf sets")
+	}
+	agree, total := 0, 0
+	for x := 0; x < len(la); x++ {
+		for y := x + 1; y < len(la); y++ {
+			for z := y + 1; z < len(la); z++ {
+				i, j, k := la[x], la[y], la[z]
+				if a.TreeTriple(i, j, k) == b.TreeTriple(i, j, k) {
+					agree++
+				}
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		return 1, nil
+	}
+	return float64(agree) / float64(total), nil
+}

@@ -1,0 +1,104 @@
+package tree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCladeSet(t *testing.T) {
+	// ((0,1),(2,3)): clades {0,1} and {2,3}.
+	tr := Join(Join(New(0), New(1), 1), Join(New(2), New(3), 2), 4)
+	clades := tr.CladeSet()
+	if len(clades) != 2 || !clades["0,1"] || !clades["2,3"] {
+		t.Fatalf("clades = %v", clades)
+	}
+}
+
+func TestRobinsonFouldsIdentityAndSymmetry(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		a := randomUltraTree(rng, n)
+		b := randomUltraTree(rng, n)
+		dSelf, _, err := RobinsonFoulds(a, a)
+		if err != nil || dSelf != 0 {
+			return false
+		}
+		dab, maxAB, err := RobinsonFoulds(a, b)
+		if err != nil {
+			return false
+		}
+		dba, maxBA, err := RobinsonFoulds(b, a)
+		if err != nil {
+			return false
+		}
+		return dab == dba && maxAB == maxBA && dab <= maxAB
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRobinsonFouldsDetectsDifference(t *testing.T) {
+	// ((0,1),(2,3)) vs ((0,2),(1,3)): fully different clades → distance 4.
+	a := Join(Join(New(0), New(1), 1), Join(New(2), New(3), 1), 2)
+	b := Join(Join(New(0), New(2), 1), Join(New(1), New(3), 1), 2)
+	d, max, err := RobinsonFoulds(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 4 || max != 4 {
+		t.Fatalf("RF = %d/%d, want 4/4", d, max)
+	}
+}
+
+func TestRobinsonFouldsRejectsDifferentLeafSets(t *testing.T) {
+	a := Join(New(0), New(1), 1)
+	b := Join(New(0), New(2), 1)
+	if _, _, err := RobinsonFoulds(a, b); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := TripleAgreement(a, b); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestTripleAgreement(t *testing.T) {
+	a := Join(Join(New(0), New(1), 1), New(2), 2)
+	if got, err := TripleAgreement(a, a); err != nil || got != 1 {
+		t.Fatalf("self agreement = %g, %v", got, err)
+	}
+	b := Join(Join(New(0), New(2), 1), New(1), 2)
+	got, err := TripleAgreement(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("disagreeing triple = %g, want 0", got)
+	}
+	// Two leaves: no triples, agreement 1 by convention.
+	c := Join(New(0), New(1), 1)
+	if got, _ := TripleAgreement(c, c); got != 1 {
+		t.Fatalf("n=2 agreement = %g", got)
+	}
+}
+
+func TestAsciiRendering(t *testing.T) {
+	tr := Join(Join(New(0), New(1), 1), Join(New(2), New(3), 2), 4)
+	tr.SetNames([]string{"a", "b", "c", "d"})
+	out := tr.Ascii()
+	for _, want := range []string{"[4]", "[1]", "[2]", "├─ ", "└─ ", "a", "d"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Ascii missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 7 { // 3 internal + 4 leaves
+		t.Fatalf("want 7 lines, got %d:\n%s", lines, out)
+	}
+	if (&Tree{}).Ascii() != "" {
+		t.Fatal("empty tree must render empty")
+	}
+}

@@ -1,0 +1,89 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSONNode is the nested-JSON form of a tree, convenient for web clients:
+// leaves carry a name, internal nodes carry a height and two children.
+type JSONNode struct {
+	Name     string      `json:"name,omitempty"`
+	Height   float64     `json:"height,omitempty"`
+	Length   float64     `json:"length"` // edge length to the parent
+	Children []*JSONNode `json:"children,omitempty"`
+}
+
+// MarshalJSON renders the tree as nested objects rooted at the tree root.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	if len(t.Nodes) == 0 {
+		return []byte("null"), nil
+	}
+	return json.Marshal(t.toJSON(t.Root))
+}
+
+func (t *Tree) toJSON(id int) *JSONNode {
+	n := &t.Nodes[id]
+	out := &JSONNode{Length: t.EdgeWeight(id)}
+	if n.Species >= 0 {
+		out.Name = t.SpeciesName(n.Species)
+		return out
+	}
+	out.Height = n.Height
+	out.Children = []*JSONNode{t.toJSON(n.Left), t.toJSON(n.Right)}
+	return out
+}
+
+// FromJSON rebuilds a tree from its nested-JSON form. Species indices are
+// assigned in leaf order of first appearance; heights are taken from the
+// internal nodes directly (edge lengths are ignored except for
+// validation).
+func FromJSON(data []byte) (*Tree, error) {
+	var root JSONNode
+	if err := json.Unmarshal(data, &root); err != nil {
+		return nil, fmt.Errorf("tree: bad JSON: %w", err)
+	}
+	t := &Tree{}
+	names := []string{}
+	var build func(j *JSONNode, parent int) (int, error)
+	build = func(j *JSONNode, parent int) (int, error) {
+		id := len(t.Nodes)
+		switch len(j.Children) {
+		case 0:
+			if j.Name == "" {
+				return 0, fmt.Errorf("tree: leaf without a name")
+			}
+			t.Nodes = append(t.Nodes, Node{
+				Species: len(names), Left: NoNode, Right: NoNode, Parent: parent,
+			})
+			names = append(names, j.Name)
+		case 2:
+			t.Nodes = append(t.Nodes, Node{
+				Species: -1, Left: NoNode, Right: NoNode, Parent: parent, Height: j.Height,
+			})
+			l, err := build(j.Children[0], id)
+			if err != nil {
+				return 0, err
+			}
+			r, err := build(j.Children[1], id)
+			if err != nil {
+				return 0, err
+			}
+			t.Nodes[id].Left, t.Nodes[id].Right = l, r
+		default:
+			return 0, fmt.Errorf("tree: node with %d children (binary trees only)", len(j.Children))
+		}
+		return id, nil
+	}
+	root.Length = 0
+	id, err := build(&root, NoNode)
+	if err != nil {
+		return nil, err
+	}
+	t.Root = id
+	t.names = names
+	if err := t.Validate(1e-9); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

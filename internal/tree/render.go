@@ -1,0 +1,55 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Ascii renders the tree as a text dendrogram, one node per line, with
+// internal node heights in brackets:
+//
+//	[4]
+//	├─ [1]
+//	│  ├─ a
+//	│  └─ b
+//	└─ [2]
+//	   ├─ c
+//	   └─ d
+//
+// It is used by the CLI and the web interface for human inspection; the
+// Newick form remains the machine format.
+func (t *Tree) Ascii() string {
+	if len(t.Nodes) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	var walk func(id int, prefix string, last bool, root bool)
+	walk = func(id int, prefix string, last, root bool) {
+		n := &t.Nodes[id]
+		if !root {
+			connector := "├─ "
+			if last {
+				connector = "└─ "
+			}
+			b.WriteString(prefix + connector)
+		}
+		if n.Species >= 0 {
+			b.WriteString(t.SpeciesName(n.Species))
+			b.WriteByte('\n')
+			return
+		}
+		fmt.Fprintf(&b, "[%.6g]\n", n.Height)
+		childPrefix := prefix
+		if !root {
+			if last {
+				childPrefix += "   "
+			} else {
+				childPrefix += "│  "
+			}
+		}
+		walk(n.Left, childPrefix, false, false)
+		walk(n.Right, childPrefix, true, false)
+	}
+	walk(t.Root, "", true, true)
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG renders the tree as a standalone SVG dendrogram: leaves on the
+// right, the root on the left, horizontal branch lengths proportional to
+// height differences. Intended for the web interface; no external assets.
+func (t *Tree) SVG() string {
+	leaves := t.Leaves()
+	n := len(leaves)
+	if n == 0 {
+		return `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"></svg>`
+	}
+	const (
+		rowH    = 22.0
+		padX    = 10.0
+		padY    = 12.0
+		treeW   = 480.0
+		labelW  = 140.0
+		fontPx  = 12
+		stroke  = `stroke="#335" stroke-width="1.5" fill="none"`
+		textFmt = `<text x="%.1f" y="%.1f" font-family="monospace" font-size="%d">%s</text>`
+	)
+	height := t.Height()
+	if height == 0 {
+		height = 1
+	}
+	// x maps node height to horizontal position: root (max height) at the
+	// left, leaves (height 0) at the right edge of the tree area.
+	x := func(h float64) float64 { return padX + (1-h/height)*treeW }
+
+	var b strings.Builder
+	totalW := padX*2 + treeW + labelW
+	totalH := padY*2 + rowH*float64(n)
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`,
+		totalW, totalH, totalW, totalH)
+	b.WriteByte('\n')
+
+	// Post-order: each leaf gets the next row; each internal node sits at
+	// the mean y of its children.
+	nextRow := 0
+	var walk func(id int) float64
+	walk = func(id int) float64 {
+		node := &t.Nodes[id]
+		if node.Species >= 0 {
+			y := padY + rowH*(float64(nextRow)+0.5)
+			nextRow++
+			fmt.Fprintf(&b, textFmt+"\n", x(0)+6, y+4, fontPx, escapeXML(t.SpeciesName(node.Species)))
+			return y
+		}
+		yl := walk(node.Left)
+		yr := walk(node.Right)
+		y := (yl + yr) / 2
+		xv := x(node.Height)
+		// Vertical connector plus horizontal branches to both children.
+		fmt.Fprintf(&b, `<path d="M%.1f %.1f V%.1f" %s/>`+"\n", xv, yl, yr, stroke)
+		fmt.Fprintf(&b, `<path d="M%.1f %.1f H%.1f" %s/>`+"\n", xv, yl, x(t.Nodes[node.Left].Height), stroke)
+		fmt.Fprintf(&b, `<path d="M%.1f %.1f H%.1f" %s/>`+"\n", xv, yr, x(t.Nodes[node.Right].Height), stroke)
+		return y
+	}
+	rootY := walk(t.Root)
+	// Root stub.
+	fmt.Fprintf(&b, `<path d="M%.1f %.1f H%.1f" %s/>`+"\n", padX, rootY, x(t.Nodes[t.Root].Height), stroke)
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

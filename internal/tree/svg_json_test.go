@@ -1,0 +1,107 @@
+package tree
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSVGBasics(t *testing.T) {
+	tr := Join(Join(New(0), New(1), 1), Join(New(2), New(3), 2), 4)
+	tr.SetNames([]string{"a", "b<c", "c", "d"})
+	svg := tr.SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatalf("not an SVG document:\n%s", svg)
+	}
+	for _, want := range []string{">a</text>", "&lt;", "<path"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, svg)
+		}
+	}
+	// One text element per leaf.
+	if got := strings.Count(svg, "<text"); got != 4 {
+		t.Fatalf("%d labels, want 4", got)
+	}
+	// Empty tree renders an empty document, not a panic.
+	if svg := (&Tree{}).SVG(); !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("empty SVG malformed")
+	}
+	// Single-leaf tree must not divide by zero.
+	single := New(0)
+	if svg := single.SVG(); !strings.Contains(svg, "S1") {
+		t.Fatalf("single leaf missing label:\n%s", svg)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		tr := randomUltraTree(rng, n)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		tr.SetNames(names)
+		data, err := json.Marshal(tr)
+		if err != nil {
+			return false
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			return false
+		}
+		if back.LeafCount() != n {
+			return false
+		}
+		if math.Abs(back.Cost()-tr.Cost()) > 1e-9 {
+			return false
+		}
+		// Same pairwise distances under the name mapping.
+		nameIdx := map[string]int{}
+		for i, nm := range back.Names() {
+			nameIdx[nm] = i
+		}
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				ba, bok := nameIdx[names[a]]
+				bb, bok2 := nameIdx[names[b]]
+				if !bok || !bok2 {
+					return false
+				}
+				if math.Abs(back.Dist(ba, bb)-tr.Dist(a, b)) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`,                           // malformed
+		`{"children":[{"name":"a"}]}`, // unary node
+		`{"children":[{"name":"a"},{"name":"b"},{"name":"c"}]}`,                                      // ternary
+		`{"children":[{},{"name":"b"}]}`,                                                             // unnamed leaf
+		`{"height":1,"children":[{"name":"a"},{"height":5,"children":[{"name":"b"},{"name":"c"}]}]}`, // child above parent
+	}
+	for _, src := range cases {
+		if _, err := FromJSON([]byte(src)); err == nil {
+			t.Errorf("want error for %s", src)
+		}
+	}
+}
+
+func TestMarshalEmptyTree(t *testing.T) {
+	data, err := json.Marshal(&Tree{})
+	if err != nil || string(data) != "null" {
+		t.Fatalf("empty tree JSON = %s, %v", data, err)
+	}
+}

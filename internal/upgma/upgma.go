@@ -1,0 +1,134 @@
+// Package upgma implements the two agglomerative clustering heuristics used
+// by the paper: UPGMA (Unweighted Pair Group Method with Arithmetic mean,
+// Sneath & Sokal) and UPGMM (Unweighted Pair Group Method with Maximum),
+// the complete-linkage variant Wu, Chao and Tang introduced to seed their
+// branch-and-bound with a feasible ultrametric tree.
+//
+// Both repeatedly merge the closest pair of clusters at height = distance/2.
+// They differ in how the merged cluster's distance to the others is
+// defined: UPGMA takes the size-weighted average, UPGMM takes the maximum.
+// The UPGMM tree realizes d_T(i,j) = max over cross pairs of M ≥ M[i,j],
+// so its cost is always a valid upper bound for the MUT problem; the UPGMA
+// tree generally is not feasible.
+package upgma
+
+import (
+	"math"
+
+	"evotree/internal/tree"
+)
+
+// Linkage selects the cluster-distance update rule.
+type Linkage int
+
+// Supported linkages.
+const (
+	Average Linkage = iota // UPGMA
+	Maximum                // UPGMM
+	Minimum                // single linkage; provided for the reduced-matrix experiments
+)
+
+// Matrix is the distance view the heuristics read. *matrix.Matrix
+// satisfies it.
+type Matrix interface {
+	Len() int
+	At(i, j int) float64
+}
+
+// Build clusters the n species of m into an ultrametric tree with the given
+// linkage. For Maximum linkage the result is guaranteed feasible
+// (d_T ≥ M). It panics if m has no species.
+func Build(m Matrix, link Linkage) *tree.Tree {
+	n := m.Len()
+	if n == 0 {
+		panic("upgma: empty matrix")
+	}
+	if n == 1 {
+		return tree.New(0)
+	}
+
+	// Active clusters: each holds a partial tree and its working distances
+	// to the other active clusters.
+	type cluster struct {
+		t    *tree.Tree
+		size int
+	}
+	active := make([]*cluster, n)
+	dist := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		active[i] = &cluster{t: tree.New(i), size: 1}
+		dist[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			dist[i][j] = m.At(i, j)
+		}
+	}
+	alive := make([]int, n) // indices of live clusters
+	for i := range alive {
+		alive[i] = i
+	}
+
+	for len(alive) > 1 {
+		// Find the closest pair of live clusters.
+		bi, bj := 0, 1
+		best := math.Inf(1)
+		for x := 0; x < len(alive); x++ {
+			for y := x + 1; y < len(alive); y++ {
+				i, j := alive[x], alive[y]
+				if dist[i][j] < best {
+					best, bi, bj = dist[i][j], i, j
+				}
+			}
+		}
+		a, b := active[bi], active[bj]
+		h := best / 2
+		// Heights must be monotone: a merge at height below a child's
+		// height can occur for Average/Minimum linkage on non-ultrametric
+		// data; clamp to keep the tree valid.
+		if ah := a.t.Height(); ah > h {
+			h = ah
+		}
+		if bh := b.t.Height(); bh > h {
+			h = bh
+		}
+		merged := &cluster{t: tree.Join(a.t, b.t, h), size: a.size + b.size}
+		// Update distances from the merged cluster (stored at slot bi) to
+		// every other live cluster.
+		for _, k := range alive {
+			if k == bi || k == bj {
+				continue
+			}
+			var d float64
+			switch link {
+			case Average:
+				d = (dist[bi][k]*float64(a.size) + dist[bj][k]*float64(b.size)) /
+					float64(a.size+b.size)
+			case Maximum:
+				d = math.Max(dist[bi][k], dist[bj][k])
+			case Minimum:
+				d = math.Min(dist[bi][k], dist[bj][k])
+			}
+			dist[bi][k], dist[k][bi] = d, d
+		}
+		active[bi] = merged
+		// Remove bj from the live list.
+		for x, k := range alive {
+			if k == bj {
+				alive = append(alive[:x], alive[x+1:]...)
+				break
+			}
+		}
+	}
+	return active[alive[0]].t
+}
+
+// UPGMM builds the complete-linkage tree and returns it with its cost. The
+// cost is the initial upper bound of Algorithm BBU (Step 3).
+func UPGMM(m Matrix) (*tree.Tree, float64) {
+	t := Build(m, Maximum)
+	return t, t.Cost()
+}
+
+// UPGMA builds the classic average-linkage tree.
+func UPGMA(m Matrix) *tree.Tree {
+	return Build(m, Average)
+}

@@ -1,0 +1,275 @@
+// Package web implements the project's web front end (the NSC report's
+// stated goal of offering the tree-construction system "through a Web
+// interface"): a small net/http server that accepts a distance matrix or
+// a FASTA alignment and returns the constructed ultrametric tree as
+// Newick, an ASCII dendrogram, and JSON.
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+	"time"
+
+	"evotree/internal/bb"
+	"evotree/internal/compact"
+	"evotree/internal/core"
+	"evotree/internal/matrix"
+	"evotree/internal/seqsim"
+	"evotree/internal/upgma"
+)
+
+// Server carries the configuration of the web front end.
+type Server struct {
+	// MaxSpecies rejects inputs larger than this (exact search cost is
+	// exponential; the public endpoint must be bounded). Default 32.
+	MaxSpecies int
+	// MaxNodes caps each branch-and-bound search. Default 500000.
+	MaxNodes int64
+	// Workers for the parallel construction. Default 4.
+	Workers int
+}
+
+// NewServer returns a server with production defaults.
+func NewServer() *Server {
+	return &Server{MaxSpecies: 32, MaxNodes: 500_000, Workers: 4}
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /api/tree", s.handleTree)
+	return mux
+}
+
+// Request is the JSON (or form) payload of POST /api/tree.
+type Request struct {
+	// Matrix in the PHYLIP-like text format; mutually exclusive with
+	// Fasta.
+	Matrix string `json:"matrix,omitempty"`
+	// Fasta holds aligned DNA sequences; the Hamming distance matrix is
+	// computed server-side.
+	Fasta string `json:"fasta,omitempty"`
+	// Algorithm: "compact" (default), "bb", "upgma", "upgmm".
+	Algorithm string `json:"algorithm,omitempty"`
+	// ThreeThree enables the 3-3 constraint at the third species.
+	ThreeThree bool `json:"threeThree,omitempty"`
+	// SVG asks for an SVG dendrogram in the response.
+	SVG bool `json:"svg,omitempty"`
+}
+
+// Response is the JSON answer of POST /api/tree.
+type Response struct {
+	Species     int        `json:"species"`
+	Algorithm   string     `json:"algorithm"`
+	Cost        float64    `json:"cost"`
+	Newick      string     `json:"newick"`
+	Ascii       string     `json:"ascii"`
+	SVG         string     `json:"svg,omitempty"`
+	CompactSets [][]string `json:"compactSets,omitempty"`
+	Feasible    bool       `json:"feasible"`
+	Complete    bool       `json:"complete"` // false when MaxNodes cut the search
+	ElapsedMS   float64    `json:"elapsedMs"`
+	Expanded    int64      `json:"expanded"`
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Build(req)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Too late for a status change; nothing useful to do.
+		return
+	}
+}
+
+func decodeRequest(r *http.Request) (*Request, error) {
+	ct := r.Header.Get("Content-Type")
+	req := &Request{}
+	switch {
+	case strings.HasPrefix(ct, "application/json"):
+		if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+			return nil, fmt.Errorf("bad JSON: %w", err)
+		}
+	default:
+		if err := r.ParseForm(); err != nil {
+			return nil, fmt.Errorf("bad form: %w", err)
+		}
+		req.Matrix = r.PostFormValue("matrix")
+		req.Fasta = r.PostFormValue("fasta")
+		req.Algorithm = r.PostFormValue("algorithm")
+		req.ThreeThree = r.PostFormValue("threeThree") != ""
+		req.SVG = r.PostFormValue("svg") != ""
+	}
+	return req, nil
+}
+
+// Build performs the construction for a request; exposed for tests and
+// for embedding the service elsewhere.
+func (s *Server) Build(req *Request) (*Response, error) {
+	m, err := s.inputMatrix(req)
+	if err != nil {
+		return nil, err
+	}
+	if m.Len() < 2 {
+		return nil, fmt.Errorf("need at least 2 species, got %d", m.Len())
+	}
+	if m.Len() > s.MaxSpecies {
+		return nil, fmt.Errorf("%d species exceeds this server's limit of %d", m.Len(), s.MaxSpecies)
+	}
+
+	algo := req.Algorithm
+	if algo == "" {
+		algo = "compact"
+	}
+	bbOpt := bb.DefaultOptions()
+	bbOpt.MaxNodes = s.MaxNodes
+	bbOpt.ThreeThree = req.ThreeThree
+
+	resp := &Response{Species: m.Len(), Algorithm: algo, Complete: true}
+	start := time.Now()
+	switch algo {
+	case "compact":
+		opt := core.Options{
+			UseCompactSets: true,
+			Reduction:      compact.Maximum,
+			Workers:        s.Workers,
+			BB:             bbOpt,
+		}
+		res, err := core.Construct(m, opt)
+		if err != nil {
+			return nil, err
+		}
+		resp.Cost = res.Cost
+		resp.Newick = res.Tree.Newick()
+		resp.Ascii = res.Tree.Ascii()
+		if req.SVG {
+			resp.SVG = res.Tree.SVG()
+		}
+		resp.Feasible = res.Tree.Feasible(m, 1e-9)
+		resp.Expanded = res.Stats.Expanded
+		for _, set := range res.CompactSets {
+			names := make([]string, len(set))
+			for i, v := range set {
+				names[i] = m.Name(v)
+			}
+			resp.CompactSets = append(resp.CompactSets, names)
+		}
+	case "bb":
+		res, err := bb.Solve(m, bbOpt)
+		if err != nil {
+			return nil, err
+		}
+		resp.Cost = res.Cost
+		resp.Newick = res.Tree.Newick()
+		resp.Ascii = res.Tree.Ascii()
+		if req.SVG {
+			resp.SVG = res.Tree.SVG()
+		}
+		resp.Feasible = res.Tree.Feasible(m, 1e-9)
+		resp.Complete = res.Optimal
+		resp.Expanded = res.Stats.Expanded
+	case "upgma", "upgmm":
+		link := upgma.Average
+		if algo == "upgmm" {
+			link = upgma.Maximum
+		}
+		t := upgma.Build(m, link)
+		t.SetNames(m.Names())
+		resp.Cost = t.Cost()
+		resp.Newick = t.Newick()
+		resp.Ascii = t.Ascii()
+		if req.SVG {
+			resp.SVG = t.SVG()
+		}
+		resp.Feasible = t.Feasible(m, 1e-9)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want compact|bb|upgma|upgmm)", algo)
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return resp, nil
+}
+
+func (s *Server) inputMatrix(req *Request) (*matrix.Matrix, error) {
+	switch {
+	case req.Matrix != "" && req.Fasta != "":
+		return nil, fmt.Errorf("provide either a matrix or FASTA sequences, not both")
+	case req.Matrix != "":
+		m, err := matrix.ParseString(req.Matrix)
+		if err != nil {
+			return nil, fmt.Errorf("matrix: %w", err)
+		}
+		return m, nil
+	case req.Fasta != "":
+		records, err := seqsim.ReadFASTA(strings.NewReader(req.Fasta))
+		if err != nil {
+			return nil, err
+		}
+		return seqsim.MatrixFromSequences(records)
+	}
+	return nil, fmt.Errorf("empty input: provide a distance matrix or FASTA sequences")
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+var indexTmpl = template.Must(template.New("index").Parse(`<!DOCTYPE html>
+<html><head><title>evotree — ultrametric tree construction</title>
+<style>
+ body { font-family: sans-serif; max-width: 56rem; margin: 2rem auto; }
+ textarea { width: 100%; height: 12rem; font-family: monospace; }
+ pre { background: #f4f4f4; padding: 1rem; overflow-x: auto; }
+</style></head>
+<body>
+<h1>evotree</h1>
+<p>Construct a (near-)minimum ultrametric evolutionary tree from a
+distance matrix or aligned DNA sequences — the compact-set technique of
+Yu et al., PaCT 2005. Limit: {{.MaxSpecies}} species.</p>
+<form method="post" action="/api/tree">
+ <p><label>Distance matrix (first line: species count; then
+ "name d1 ... dn" rows):</label><br>
+ <textarea name="matrix" placeholder="4
+a 0 2 8 8
+b 2 0 8 8
+c 8 8 0 4
+d 8 8 4 0"></textarea></p>
+ <p><label>… or aligned FASTA sequences:</label><br>
+ <textarea name="fasta" placeholder="&gt;a
+ACGT..."></textarea></p>
+ <p><label>Algorithm:
+ <select name="algorithm">
+  <option value="compact">compact sets + branch-and-bound (paper)</option>
+  <option value="bb">exact branch-and-bound</option>
+  <option value="upgmm">UPGMM heuristic</option>
+  <option value="upgma">UPGMA heuristic</option>
+ </select></label>
+ <label><input type="checkbox" name="threeThree"> 3-3 constraint</label>
+ <button type="submit">Build tree</button></p>
+</form>
+<p>API: <code>POST /api/tree</code> with JSON
+<code>{"matrix": "...", "algorithm": "compact"}</code> or
+<code>{"fasta": "..."}</code>.</p>
+</body></html>
+`))
+
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = indexTmpl.Execute(w, s)
+}

@@ -1,0 +1,178 @@
+package web
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"evotree/internal/matrix"
+)
+
+const sampleMatrix = `4
+a 0 2 8 8
+b 2 0 8 8
+c 8 8 0 4
+d 8 8 4 0
+`
+
+func postJSON(t *testing.T, h http.Handler, body string) (*httptest.ResponseRecorder, *Response) {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/api/tree", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return rec, nil
+	}
+	var resp Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON response: %v\n%s", err, rec.Body.String())
+	}
+	return rec, &resp
+}
+
+func TestIndexAndHealth(t *testing.T) {
+	h := NewServer().Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "evotree") {
+		t.Fatalf("index: %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+}
+
+func TestBuildFromMatrixJSON(t *testing.T) {
+	h := NewServer().Handler()
+	body, _ := json.Marshal(Request{Matrix: sampleMatrix})
+	rec, resp := postJSON(t, h, string(body))
+	if resp == nil {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Species != 4 || resp.Cost != 11 || !resp.Feasible || !resp.Complete {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if !strings.Contains(resp.Newick, "a:") || !strings.Contains(resp.Ascii, "└─") {
+		t.Fatalf("tree renderings missing: %+v", resp)
+	}
+	if len(resp.CompactSets) != 2 {
+		t.Fatalf("compact sets = %v", resp.CompactSets)
+	}
+}
+
+func TestBuildAlgorithms(t *testing.T) {
+	h := NewServer().Handler()
+	for _, algo := range []string{"compact", "bb", "upgma", "upgmm"} {
+		body, _ := json.Marshal(Request{Matrix: sampleMatrix, Algorithm: algo})
+		rec, resp := postJSON(t, h, string(body))
+		if resp == nil {
+			t.Fatalf("%s: status %d: %s", algo, rec.Code, rec.Body.String())
+		}
+		if resp.Algorithm != algo || resp.Newick == "" {
+			t.Fatalf("%s: %+v", algo, resp)
+		}
+	}
+}
+
+func TestBuildFromFasta(t *testing.T) {
+	h := NewServer().Handler()
+	fasta := ">a\nACGTACGT\n>b\nACGTACGA\n>c\nTTTTACGT\n"
+	body, _ := json.Marshal(Request{Fasta: fasta})
+	rec, resp := postJSON(t, h, string(body))
+	if resp == nil {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Species != 3 {
+		t.Fatalf("species = %d", resp.Species)
+	}
+}
+
+func TestBuildFromForm(t *testing.T) {
+	h := NewServer().Handler()
+	form := url.Values{"matrix": {sampleMatrix}, "algorithm": {"upgmm"}, "threeThree": {"on"}}
+	req := httptest.NewRequest("POST", "/api/tree", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("form post: %d %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "upgmm") {
+		t.Fatalf("missing algorithm echo: %s", rec.Body.String())
+	}
+}
+
+func TestRejections(t *testing.T) {
+	s := NewServer()
+	s.MaxSpecies = 4
+	h := s.Handler()
+	cases := []Request{
+		{},                                     // empty
+		{Matrix: "garbage"},                    // malformed matrix
+		{Matrix: sampleMatrix, Fasta: ">a\nA"}, // both inputs
+		{Matrix: "1\na 0\n"},                   // too few species
+		{Matrix: sampleMatrix, Algorithm: "nj-magic"},
+		{Fasta: ">a\nAC\n>b\nA\n"}, // ragged alignment
+	}
+	for i, c := range cases {
+		body, _ := json.Marshal(c)
+		rec, _ := postJSON(t, h, string(body))
+		if rec.Code == http.StatusOK {
+			t.Errorf("case %d: want rejection, got 200", i)
+		}
+	}
+	// Over the species limit.
+	big := Request{Matrix: "5\na 0 1 1 1 1\nb 1 0 1 1 1\nc 1 1 0 1 1\nd 1 1 1 0 1\ne 1 1 1 1 0\n"}
+	body, _ := json.Marshal(big)
+	rec, _ := postJSON(t, h, string(body))
+	if rec.Code == http.StatusOK {
+		t.Error("species limit not enforced")
+	}
+	// Bad JSON.
+	rec2, _ := postJSON(t, h, "{")
+	if rec2.Code != http.StatusBadRequest {
+		t.Errorf("bad JSON: %d", rec2.Code)
+	}
+}
+
+func TestMaxNodesMarksIncomplete(t *testing.T) {
+	s := NewServer()
+	s.MaxNodes = 1
+	// A uniform random metric needs far more than one expansion.
+	m := matrix.Random0100(rand.New(rand.NewSource(3)), 12).String()
+	resp, err := s.Build(&Request{Matrix: m, Algorithm: "bb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Complete {
+		t.Fatal("1-node cap must mark the search incomplete")
+	}
+	if resp.Newick == "" {
+		t.Fatal("incomplete search must still return the incumbent tree")
+	}
+}
+
+func TestSVGInResponse(t *testing.T) {
+	h := NewServer().Handler()
+	body, _ := json.Marshal(Request{Matrix: sampleMatrix, SVG: true})
+	rec, resp := postJSON(t, h, string(body))
+	if resp == nil {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.HasPrefix(resp.SVG, "<svg") {
+		t.Fatalf("SVG missing: %q", resp.SVG)
+	}
+	// Without the flag the field stays empty.
+	body, _ = json.Marshal(Request{Matrix: sampleMatrix})
+	_, resp = postJSON(t, h, string(body))
+	if resp.SVG != "" {
+		t.Fatal("unrequested SVG present")
+	}
+}
