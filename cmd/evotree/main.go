@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -33,6 +34,7 @@ import (
 	"evotree/internal/core"
 	"evotree/internal/matrix"
 	"evotree/internal/nj"
+	"evotree/internal/obs"
 	"evotree/internal/pbb"
 	"evotree/internal/seqsim"
 	"evotree/internal/tree"
@@ -40,13 +42,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "evotree:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("evotree", flag.ContinueOnError)
 	var (
 		algo      = fs.String("algo", "compact", "algorithm: compact|bb|pbb|upgma|upgmm|nj")
@@ -63,6 +65,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		showSets  = fs.Bool("sets", false, "print the detected compact sets")
 		showStats = fs.Bool("stats", false, "print search statistics")
 		quiet     = fs.Bool("q", false, "print only the Newick tree")
+		progress  = fs.Bool("progress", false, "print live UB-convergence lines (seed bound, improvements, phases) to stderr")
+		trace     = fs.Bool("trace", false, "print every search event (implies -progress; adds pool/worker traffic) to stderr")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +109,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("%s: empty matrix", name)
 	}
 
+	var probe obs.Probe
+	if *trace || *progress {
+		// UB-convergence events log at Info, pool/worker traffic at
+		// Debug; -trace opens the Debug level, -progress stops at Info.
+		level := slog.LevelInfo
+		if *trace {
+			level = slog.LevelDebug
+		}
+		probe = obs.NewTracer(slog.New(slog.NewTextHandler(stderr,
+			&slog.HandlerOptions{Level: level})))
+	}
+
 	bbOpt := bb.Options{
 		UseMaxMin: !*noMaxMin,
 		Constraints: bb.Constraints{
@@ -112,6 +128,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			ThreeThreeAll: *threeTAll,
 		},
 		MaxNodes: *maxNodes,
+		Probe:    probe,
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -169,7 +186,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		opt := core.Options{UseCompactSets: true, Reduction: red, Workers: *workers, BB: bbOpt}
+		opt := core.Options{UseCompactSets: true, Reduction: red, Workers: *workers, BB: bbOpt, Probe: probe}
 		res, err := core.Construct(m, opt)
 		if err != nil {
 			return err

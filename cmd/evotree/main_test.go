@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -18,7 +19,7 @@ d 8 8 4 0
 func runCLI(t *testing.T, stdin string, args ...string) string {
 	t.Helper()
 	var out bytes.Buffer
-	if err := run(args, strings.NewReader(stdin), &out); err != nil {
+	if err := run(args, strings.NewReader(stdin), &out, io.Discard); err != nil {
 		t.Fatalf("run(%v): %v\n%s", args, err, out.String())
 	}
 	return out.String()
@@ -70,7 +71,7 @@ func TestFileInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-algo", "upgmm", path}, strings.NewReader(""), &out); err != nil {
+	if err := run([]string{"-algo", "upgmm", path}, strings.NewReader(""), &out, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), ";") {
@@ -85,15 +86,15 @@ func TestErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var out bytes.Buffer
-		if err := run(args, strings.NewReader(sample), &out); err == nil {
+		if err := run(args, strings.NewReader(sample), &out, io.Discard); err == nil {
 			t.Errorf("want error for %v", args)
 		}
 	}
 	var out bytes.Buffer
-	if err := run(nil, strings.NewReader("garbage"), &out); err == nil {
+	if err := run(nil, strings.NewReader("garbage"), &out, io.Discard); err == nil {
 		t.Error("want error for bad matrix")
 	}
-	if err := run([]string{"/no/such/file.dist"}, strings.NewReader(""), &out); err == nil {
+	if err := run([]string{"/no/such/file.dist"}, strings.NewReader(""), &out, io.Discard); err == nil {
 		t.Error("want error for missing file")
 	}
 }
@@ -107,7 +108,7 @@ func TestReductionFlag(t *testing.T) {
 	}
 	var out bytes.Buffer
 	if err := run([]string{"-algo", "compact", "-reduction", "median"},
-		strings.NewReader(sample), &out); err == nil {
+		strings.NewReader(sample), &out, io.Discard); err == nil {
 		t.Fatal("want error for unknown reduction")
 	}
 }
@@ -133,7 +134,7 @@ func TestFastaInput(t *testing.T) {
 		t.Fatalf("fasta input failed:\n%s", out)
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-fasta"}, strings.NewReader("not fasta"), &buf); err == nil {
+	if err := run([]string{"-fasta"}, strings.NewReader("not fasta"), &buf, io.Discard); err == nil {
 		t.Fatal("want error for malformed FASTA")
 	}
 }
@@ -144,6 +145,35 @@ func TestTimeoutFlag(t *testing.T) {
 	out := runCLI(t, sample, "-algo", "bb", "-timeout", "1ns")
 	if !strings.Contains(out, ";") {
 		t.Fatalf("no tree under timeout:\n%s", out)
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-algo", "bb", "-trace"}, strings.NewReader(sample), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	trace := errOut.String()
+	for _, want := range []string{"seed_bound", "problem_start", "problem_finish",
+		"ub=", "worker=", "elapsed="} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %q:\n%s", want, trace)
+		}
+	}
+	if !strings.Contains(out.String(), ";") {
+		t.Fatal("no Newick on stdout under -trace")
+	}
+
+	// -progress shows the convergence lines but hides pool/worker
+	// traffic; on pbb the worker lifecycle is Debug-only.
+	errOut.Reset()
+	out.Reset()
+	if err := run([]string{"-algo", "pbb", "-workers", "3", "-progress"},
+		strings.NewReader(sample), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if s := errOut.String(); !strings.Contains(s, "seed_bound") || strings.Contains(s, "worker_start") {
+		t.Errorf("-progress output wrong:\n%s", s)
 	}
 }
 
@@ -158,12 +188,12 @@ func TestBootstrapFlag(t *testing.T) {
 	}
 	// Bootstrap without FASTA is rejected.
 	var buf bytes.Buffer
-	if err := run([]string{"-bootstrap", "5"}, strings.NewReader(sample), &buf); err == nil {
+	if err := run([]string{"-bootstrap", "5"}, strings.NewReader(sample), &buf, io.Discard); err == nil {
 		t.Fatal("want error for -bootstrap without -fasta")
 	}
 	// Unsupported algorithm.
 	if err := run([]string{"-fasta", "-bootstrap", "5", "-algo", "nj"},
-		strings.NewReader(fasta), &buf); err == nil {
+		strings.NewReader(fasta), &buf, io.Discard); err == nil {
 		t.Fatal("want error for nj bootstrap")
 	}
 }

@@ -1,19 +1,31 @@
 // Command evoweb serves the evolutionary-tree construction system over
 // HTTP — the project's "user-friendly web interface". It exposes a small
-// HTML form at / and a JSON API at POST /api/tree.
+// HTML form at /, a JSON API at POST /api/tree, Prometheus-format metrics
+// at GET /metrics, and (with -pprof) the net/http/pprof profiling
+// endpoints under /debug/pprof/.
 //
 // Usage:
 //
-//	evoweb -addr :8080 -max-species 32 -workers 8
+//	evoweb -addr :8080 -max-species 32 -workers 8 -pprof
 //	curl -s localhost:8080/api/tree -H 'Content-Type: application/json' \
 //	     -d '{"matrix":"4\na 0 2 8 8\nb 2 0 8 8\nc 8 8 0 4\nd 8 8 4 0\n"}'
+//	curl -s localhost:8080/metrics
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, waits up to -shutdown-timeout for in-flight requests, and
+// logs how many were still running.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"evotree/internal/web"
@@ -21,25 +33,73 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		maxSpecies = flag.Int("max-species", 32, "largest accepted input")
-		maxNodes   = flag.Int64("max-nodes", 500_000, "branch-and-bound node cap per request")
-		workers    = flag.Int("workers", 4, "parallel workers per construction")
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxSpecies  = flag.Int("max-species", 32, "largest accepted input")
+		maxNodes    = flag.Int64("max-nodes", 500_000, "branch-and-bound node cap per request")
+		workers     = flag.Int("workers", 4, "parallel workers per construction")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		quiet       = flag.Bool("no-access-log", false, "disable per-request access logging")
+		shutdownTmo = flag.Duration("shutdown-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	s := web.NewServer()
 	s.MaxSpecies = *maxSpecies
 	s.MaxNodes = *maxNodes
 	s.Workers = *workers
+	if !*quiet {
+		s.Logger = logger
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	if *pprofOn {
+		// Registered explicitly rather than via the package's init on
+		// http.DefaultServeMux, so profiling stays opt-in.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.Handler(),
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      120 * time.Second,
 	}
-	fmt.Printf("evoweb listening on %s\n", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("evoweb listening", "addr", *addr, "workers", *workers, "maxSpecies", *maxSpecies)
+
+	select {
+	case err := <-errc:
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second signal kills immediately
+
+	logger.Info("shutting down", "inFlight", s.InFlight(), "grace", *shutdownTmo)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTmo)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("shutdown incomplete", "err", err, "inFlight", s.InFlight())
+		os.Exit(1)
+	}
+	logger.Info("shutdown complete", "inFlight", s.InFlight())
 }

@@ -28,6 +28,7 @@ package evotree
 
 import (
 	"io"
+	"log/slog"
 	"math/rand"
 
 	"evotree/internal/bb"
@@ -36,6 +37,7 @@ import (
 	"evotree/internal/core"
 	"evotree/internal/matrix"
 	"evotree/internal/nj"
+	"evotree/internal/obs"
 	"evotree/internal/pbb"
 	"evotree/internal/seqsim"
 	"evotree/internal/tree"
@@ -66,6 +68,15 @@ type (
 	MtDNAParams = seqsim.Params
 	// MtDNADataset is one simulated mtDNA instance.
 	MtDNADataset = seqsim.Dataset
+	// Probe receives typed search telemetry (seed bound, UB improvements,
+	// pool traffic, pipeline phases); set it on Options.Probe or
+	// SearchOptions.Probe. See NewTracer and NewMetricsRegistry.
+	Probe = obs.Probe
+	// TelemetryEvent is one typed search event delivered to a Probe.
+	TelemetryEvent = obs.Event
+	// MetricsRegistry aggregates counters/gauges/histograms and renders
+	// them in the Prometheus text format.
+	MetricsRegistry = obs.Registry
 )
 
 // Reduction rules for the decomposition's small matrices. The paper
@@ -76,6 +87,24 @@ const (
 	MinimumReduction = compact.Minimum
 	AverageReduction = compact.Average
 )
+
+// NewTracer returns a Probe that renders search events as structured
+// slog records: the UB-convergence signal at Info, pool/worker traffic
+// at Debug. A nil logger yields a nil (disabled) probe.
+func NewTracer(l *slog.Logger) Probe { return obs.NewTracer(l) }
+
+// NewMetricsRegistry returns an empty metrics registry; mount its
+// Handler at GET /metrics and feed it search events via
+// obs.NewSearchMetrics or the web server.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSearchMetrics returns a Probe that aggregates search events into
+// counters and histograms on reg (searches, nodes expanded, UB
+// improvements, pool traffic, subproblem timings).
+func NewSearchMetrics(reg *MetricsRegistry) Probe { return obs.NewSearchMetrics(reg) }
+
+// MultiProbe fans events out to several probes, dropping nils.
+func MultiProbe(probes ...Probe) Probe { return obs.Multi(probes...) }
 
 // NewMatrix returns an n×n zero matrix with synthetic species names.
 func NewMatrix(n int) *Matrix { return matrix.New(n) }

@@ -3,7 +3,9 @@ package bb
 import (
 	"container/heap"
 	"math"
+	"time"
 
+	"evotree/internal/obs"
 	"evotree/internal/tree"
 )
 
@@ -43,6 +45,10 @@ func (h *nodeHeap) Pop() any {
 // guard since the frontier can grow large.
 func (p *Problem) SolveBestFirst(opt Options) *Result {
 	res := &Result{}
+	start := time.Now()
+	if opt.Probe != nil {
+		opt.Probe.Emit(obs.Event{Kind: obs.ProblemStart, Worker: obs.MasterWorker, N: p.n})
+	}
 	ubTree, ub := p.InitialUpperBound()
 	if opt.NoInitialUB {
 		ub, ubTree = math.Inf(1), nil
@@ -51,12 +57,25 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 		ub = opt.InitialUB
 		ubTree = nil
 	}
+	if opt.Probe != nil && !math.IsInf(ub, 1) {
+		opt.Probe.Emit(obs.Event{Kind: obs.SeedBound, Worker: obs.MasterWorker,
+			Value: ub, Elapsed: time.Since(start)})
+	}
 	res.Tree, res.Cost = ubTree, ub
 	if opt.CollectAll && ubTree != nil {
 		res.Trees = []*tree.Tree{ubTree}
 	}
 	res.Optimal = true
+	defer func() {
+		if opt.Probe != nil {
+			opt.Probe.Emit(obs.Event{Kind: obs.ProblemFinish, Worker: obs.MasterWorker,
+				Value: res.Cost, Nodes: res.Stats.Expanded, Elapsed: time.Since(start)})
+		}
+	}()
 
+	// Like SolveSequential, gate the cancellation check on iterations
+	// rather than expansions, which can stall during pruning streaks.
+	var iter int64
 	frontier := &nodeHeap{p.Root()}
 	heap.Init(frontier)
 	for frontier.Len() > 0 {
@@ -64,6 +83,15 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 			res.Stats.MaxPoolLen = frontier.Len()
 		}
 		v := heap.Pop(frontier).(*PNode)
+		iter++
+		if opt.Ctx != nil && iter%1024 == 1 {
+			select {
+			case <-opt.Ctx.Done():
+				res.Optimal = false
+				return res
+			default:
+			}
+		}
 		if prune(v.LB, ub, opt.CollectAll) {
 			// The heap is LB-ordered: once the best node prunes, every
 			// remaining node prunes too.
@@ -74,14 +102,6 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 			res.Optimal = false
 			break
 		}
-		if opt.Ctx != nil && res.Stats.Expanded%1024 == 0 {
-			select {
-			case <-opt.Ctx.Done():
-				res.Optimal = false
-				return res
-			default:
-			}
-		}
 		res.Stats.Expanded++
 		children := p.Expand(v, opt.Constraints)
 		res.Stats.Generated += int64(len(children))
@@ -91,7 +111,7 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 				continue
 			}
 			if ch.Complete(p) {
-				ub = p.recordSolution(ch, ub, opt, res)
+				ub = p.recordSolution(ch, ub, opt, res, start)
 				continue
 			}
 			heap.Push(frontier, ch)

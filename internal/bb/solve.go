@@ -3,8 +3,10 @@ package bb
 import (
 	"context"
 	"math"
+	"time"
 
 	"evotree/internal/matrix"
+	"evotree/internal/obs"
 	"evotree/internal/tree"
 )
 
@@ -33,6 +35,10 @@ type Options struct {
 	// periodically and returns the incumbent with Optimal=false once the
 	// context is done.
 	Ctx context.Context
+	// Probe, when non-nil, receives typed telemetry events (search
+	// start/finish, seed bound, every strict UB improvement). The nil
+	// default costs the search one branch per event site.
+	Probe obs.Probe
 }
 
 // DefaultOptions enable the max–min relabeling and keep both 3-3 filters
@@ -95,6 +101,10 @@ func Solve(m *matrix.Matrix, opt Options) (*Result, error) {
 // is the paper's "get the tree for branch using DFS" on a sorted pool.
 func (p *Problem) SolveSequential(opt Options) *Result {
 	res := &Result{}
+	start := time.Now()
+	if opt.Probe != nil {
+		opt.Probe.Emit(obs.Event{Kind: obs.ProblemStart, Worker: obs.MasterWorker, N: p.n})
+	}
 	ubTree, ub := p.InitialUpperBound()
 	if opt.NoInitialUB {
 		ub, ubTree = math.Inf(1), nil
@@ -103,12 +113,27 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 		ub = opt.InitialUB
 		ubTree = nil
 	}
+	if opt.Probe != nil && !math.IsInf(ub, 1) {
+		opt.Probe.Emit(obs.Event{Kind: obs.SeedBound, Worker: obs.MasterWorker,
+			Value: ub, Elapsed: time.Since(start)})
+	}
 	res.Tree, res.Cost = ubTree, ub
 	if opt.CollectAll && ubTree != nil {
 		res.Trees = []*tree.Tree{ubTree}
 	}
 	res.Optimal = true
+	defer func() {
+		if opt.Probe != nil {
+			opt.Probe.Emit(obs.Event{Kind: obs.ProblemFinish, Worker: obs.MasterWorker,
+				Value: res.Cost, Nodes: res.Stats.Expanded, Elapsed: time.Since(start)})
+		}
+	}()
 
+	// The cancellation gate counts loop iterations, not expansions: long
+	// pruning streaks leave Stats.Expanded frozen, and gating on it would
+	// either re-poll the context every iteration (Expanded%1024 stuck at
+	// 0) or never poll it again (stuck at a non-zero residue).
+	var iter int64
 	stack := []*PNode{p.Root()}
 	for len(stack) > 0 {
 		if len(stack) > res.Stats.MaxPoolLen {
@@ -116,6 +141,15 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 		}
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		iter++
+		if opt.Ctx != nil && iter%1024 == 1 {
+			select {
+			case <-opt.Ctx.Done():
+				res.Optimal = false
+				return res
+			default:
+			}
+		}
 		if prune(v.LB, ub, opt.CollectAll) {
 			res.Stats.PrunedLB++
 			continue
@@ -123,14 +157,6 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 		if opt.MaxNodes > 0 && res.Stats.Expanded >= opt.MaxNodes {
 			res.Optimal = false
 			break
-		}
-		if opt.Ctx != nil && res.Stats.Expanded%1024 == 0 {
-			select {
-			case <-opt.Ctx.Done():
-				res.Optimal = false
-				return res
-			default:
-			}
 		}
 		res.Stats.Expanded++
 		children := p.Expand(v, opt.Constraints)
@@ -144,7 +170,7 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 				continue
 			}
 			if ch.Complete(p) {
-				ub = p.recordSolution(ch, ub, opt, res)
+				ub = p.recordSolution(ch, ub, opt, res, start)
 				continue
 			}
 			stack = append(stack, ch)
@@ -164,7 +190,7 @@ func prune(lb, ub float64, collectAll bool) bool {
 
 // recordSolution folds a complete topology into the result and returns the
 // (possibly improved) upper bound.
-func (p *Problem) recordSolution(v *PNode, ub float64, opt Options, res *Result) float64 {
+func (p *Problem) recordSolution(v *PNode, ub float64, opt Options, res *Result, start time.Time) float64 {
 	switch {
 	case v.Cost < ub:
 		ub = v.Cost
@@ -176,6 +202,10 @@ func (p *Problem) recordSolution(v *PNode, ub float64, opt Options, res *Result)
 			res.Trees = res.Trees[:0]
 			res.Trees = append(res.Trees, res.Tree)
 		}
+		if opt.Probe != nil {
+			opt.Probe.Emit(obs.Event{Kind: obs.UBImproved, Worker: obs.MasterWorker,
+				Value: v.Cost, Nodes: res.Stats.Expanded, Elapsed: time.Since(start)})
+		}
 	case v.Cost == ub:
 		res.Stats.Solutions++
 		if opt.CollectAll {
@@ -184,6 +214,10 @@ func (p *Problem) recordSolution(v *PNode, ub float64, opt Options, res *Result)
 		if res.Tree == nil {
 			res.Tree = v.Tree(p)
 			res.Cost = v.Cost
+		}
+		if opt.Probe != nil {
+			opt.Probe.Emit(obs.Event{Kind: obs.SolutionFound, Worker: obs.MasterWorker,
+				Value: v.Cost, Nodes: res.Stats.Expanded, Elapsed: time.Since(start)})
 		}
 	}
 	return ub

@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"evotree/internal/bb"
 	"evotree/internal/compact"
 	"evotree/internal/matrix"
+	"evotree/internal/obs"
 	"evotree/internal/pbb"
 	"evotree/internal/tree"
 )
@@ -42,6 +44,11 @@ type Options struct {
 	// parallel branch-and-bound); smaller ones run sequentially to avoid
 	// goroutine overhead. Zero means 12.
 	ParallelThreshold int
+	// Probe, when non-nil, receives pipeline telemetry (phase timings for
+	// compact-set detection, reduction, each subproblem solve, and the
+	// merge) and is propagated to the underlying searches unless BB.Probe
+	// is already set.
+	Probe obs.Probe
 }
 
 // DefaultOptions is the paper's configuration: compact sets on, maximum
@@ -78,6 +85,11 @@ func Construct(m *matrix.Matrix, opt Options) (*Result, error) {
 	if opt.Workers < 1 {
 		opt.Workers = 1
 	}
+	if opt.Probe != nil && opt.BB.Probe == nil {
+		// Let the pipeline probe see the underlying searches too (seed
+		// bounds, UB improvements, pool traffic).
+		opt.BB.Probe = opt.Probe
+	}
 	var res *Result
 	var err error
 	if opt.UseCompactSets {
@@ -106,11 +118,22 @@ func constructWhole(m *matrix.Matrix, opt Options) (*Result, error) {
 }
 
 func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
+	pipeStart := time.Now()
+	emit := func(ev obs.Event) {
+		if opt.Probe != nil {
+			opt.Probe.Emit(ev)
+		}
+	}
+	emit(obs.Event{Kind: obs.PhaseStart, Phase: "compact-detect", N: m.Len()})
+	detectStart := time.Now()
 	hier, sets, err := compact.BuildHierarchy(m)
 	if err != nil {
 		return nil, err
 	}
+	emit(obs.Event{Kind: obs.PhaseEnd, Phase: "compact-detect",
+		N: len(sets), Elapsed: time.Since(detectStart)})
 	res := &Result{CompactSets: sets}
+	var subID atomic.Int64 // telemetry ids for concurrently solved subproblems
 
 	// Solve the internal hierarchy nodes bottom-up. Independent nodes run
 	// concurrently, bounded by opt.Workers — the "constructing evolutionary
@@ -138,11 +161,18 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 		}
 		wg.Wait()
 
+		id := int(subID.Add(1)) - 1
+		reduceStart := time.Now()
 		small, _, err := compact.Reduce(m, h, opt.Reduction)
 		if err != nil {
 			recordErr(&mu, &firstErr, err)
 			return nil
 		}
+		emit(obs.Event{Kind: obs.PhaseEnd, Phase: "reduce", Worker: id,
+			N: small.Len(), Elapsed: time.Since(reduceStart)})
+		emit(obs.Event{Kind: obs.SubproblemStart, Worker: id,
+			N: small.Len(), Elapsed: time.Since(pipeStart)})
+		solveStart := time.Now()
 		var groupTree *tree.Tree
 		var stats bb.Stats
 		var cost float64
@@ -175,13 +205,18 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 			}
 			groupTree, cost, stats = sres.Tree, sres.Cost, sres.Stats
 		}
+		emit(obs.Event{Kind: obs.SubproblemFinish, Worker: id,
+			N: small.Len(), Value: cost, Elapsed: time.Since(solveStart)})
 		// Translate group-leaf species back to child row indices: bb
 		// preserved row indices as species ids, so nothing to relabel.
+		mergeStart := time.Now()
 		assembled, err := compact.Graft(groupTree, h, subs)
 		if err != nil {
 			recordErr(&mu, &firstErr, err)
 			return nil
 		}
+		emit(obs.Event{Kind: obs.PhaseEnd, Phase: "merge", Worker: id,
+			N: small.Len(), Elapsed: time.Since(mergeStart)})
 		mu.Lock()
 		res.Subproblems = append(res.Subproblems, Subproblem{
 			Group: append([]int(nil), h.Members...),
@@ -203,12 +238,15 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 		}
 		t = tree.New(0)
 	}
+	validateStart := time.Now()
 	t.SetNames(m.Names())
 	res.Tree = t
 	res.Cost = t.Cost()
 	if err := t.Validate(1e-9); err != nil {
 		return nil, fmt.Errorf("core: assembled tree invalid: %w", err)
 	}
+	emit(obs.Event{Kind: obs.PhaseEnd, Phase: "validate",
+		N: m.Len(), Elapsed: time.Since(validateStart)})
 	return res, nil
 }
 

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the response status and byte count without
+// changing handler behavior.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// HTTPMetrics instruments handlers with a per-route request counter
+// (partitioned by status code), a per-route latency histogram, and a
+// server-wide in-flight gauge.
+type HTTPMetrics struct {
+	InFlight *Gauge
+	Requests *CounterVec   // labels: route, code
+	Latency  *HistogramVec // label: route
+}
+
+// NewHTTPMetrics registers the HTTP metric families on reg under the
+// given name prefix (e.g. "evoweb").
+func NewHTTPMetrics(reg *Registry, prefix string) *HTTPMetrics {
+	return &HTTPMetrics{
+		InFlight: reg.Gauge(prefix+"_in_flight_requests", "Requests currently being served."),
+		Requests: reg.CounterVec(prefix+"_requests_total", "HTTP requests served.", "route", "code"),
+		Latency:  reg.HistogramVec(prefix+"_request_seconds", "HTTP request latency.", nil, "route"),
+	}
+}
+
+// Wrap instruments h, recording every request under the given route
+// label. Routes are labeled explicitly (rather than from the request
+// path) so that unmatched garbage paths cannot explode the label space.
+func (m *HTTPMetrics) Wrap(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.InFlight.Inc()
+		defer m.InFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		m.Requests.With(route, strconv.Itoa(sw.status)).Inc()
+		m.Latency.With(route).Observe(time.Since(start).Seconds())
+	})
+}
+
+// AccessLog wraps h with per-request structured logging: method, path,
+// status, response bytes, and duration. A nil logger returns h unchanged.
+func AccessLog(l *slog.Logger, h http.Handler) http.Handler {
+	if l == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		l.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"duration", time.Since(start),
+			"remote", r.RemoteAddr)
+	})
+}

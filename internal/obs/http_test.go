@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHTTPMetricsRecordsStatuses(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "test")
+	codes := map[string]int{
+		"/ok":    http.StatusOK,
+		"/bad":   http.StatusBadRequest,
+		"/boom":  http.StatusInternalServerError,
+		"/plain": 0, // handler writes the body without WriteHeader → implicit 200
+	}
+	h := func(route string) http.Handler {
+		return m.Wrap(route, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			if c := codes[route]; c != 0 {
+				w.WriteHeader(c)
+			}
+			_, _ = w.Write([]byte("x"))
+		}))
+	}
+	for route := range codes {
+		rec := httptest.NewRecorder()
+		h(route).ServeHTTP(rec, httptest.NewRequest("GET", route, nil))
+	}
+
+	var b strings.Builder
+	_, _ = reg.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_requests_total{route="/ok",code="200"} 1`,
+		`test_requests_total{route="/bad",code="400"} 1`,
+		`test_requests_total{route="/boom",code="500"} 1`,
+		`test_requests_total{route="/plain",code="200"} 1`,
+		`test_request_seconds_count{route="/ok"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if m.InFlight.Value() != 0 {
+		t.Fatalf("in-flight gauge did not return to zero: %d", m.InFlight.Value())
+	}
+}
+
+func TestInFlightGauge(t *testing.T) {
+	reg := NewRegistry()
+	m := NewHTTPMetrics(reg, "test")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := m.Wrap("/slow", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		entered <- struct{}{}
+		<-release
+	}))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/slow", nil))
+	}()
+	<-entered
+	if m.InFlight.Value() != 1 {
+		t.Fatalf("in-flight = %d during request", m.InFlight.Value())
+	}
+	close(release)
+	wg.Wait()
+	if m.InFlight.Value() != 0 {
+		t.Fatalf("in-flight = %d after request", m.InFlight.Value())
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	h := AccessLog(logger, http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		_, _ = w.Write([]byte("short and stout"))
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/pot?x=1", nil))
+	line := buf.String()
+	for _, want := range []string{"method=GET", "path=/pot", "status=418", "bytes=15"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("access log missing %q: %s", want, line)
+		}
+	}
+	// nil logger: pass-through, no wrapping.
+	inner := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {})
+	if got := AccessLog(nil, inner); got == nil {
+		t.Fatal("nil logger must return the handler unchanged")
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "X.").Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("metrics body:\n%s", rec.Body.String())
+	}
+}

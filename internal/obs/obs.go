@@ -1,0 +1,160 @@
+// Package obs is the observability substrate of the project: typed search
+// events emitted by the branch-and-bound engines and the decomposition
+// pipeline (Probe), an atomic metrics registry with Prometheus text
+// exposition (Registry), a log/slog tracer that turns events into
+// structured log lines (Tracer), and net/http middleware (access log,
+// per-route request metrics, in-flight gauge).
+//
+// The package is dependency-free (stdlib only) and designed so that an
+// uninstrumented run costs the hot paths exactly one nil-check: engines
+// guard every emission with `if probe != nil`.
+package obs
+
+import "time"
+
+// Kind identifies what happened. The zero value is KindUnknown so that an
+// accidentally zero-initialized event is recognizable.
+type Kind uint8
+
+const (
+	KindUnknown Kind = iota
+
+	// ProblemStart marks the beginning of one branch-and-bound search
+	// (sequential or parallel). N carries the species count.
+	ProblemStart
+	// SeedBound reports the initial feasible upper bound (UPGMM, or an
+	// externally supplied InitialUB). Value carries the bound.
+	SeedBound
+	// UBImproved reports a strict improvement of the incumbent upper
+	// bound. Value is the new bound, Worker the finder (MasterWorker for
+	// the sequential engine or the parallel master phase), Nodes the
+	// emitting context's expansion count, Elapsed the time since the
+	// search started. The parallel engine emits these while holding the
+	// incumbent lock, so consecutive UBImproved values are strictly
+	// decreasing even under concurrency.
+	UBImproved
+	// SolutionFound reports a complete topology matching the incumbent
+	// cost (Value). UBImproved is emitted instead when the cost is a
+	// strict improvement.
+	SolutionFound
+	// ProblemFinish marks the end of a search. Value is the final cost,
+	// Nodes the total expansions, Elapsed the total search time.
+	ProblemFinish
+
+	// PoolPut: the master preserved a subproblem in the global pool
+	// during dispatch (the paper's "1/p nodes stay in GP").
+	PoolPut
+	// PoolGet: a worker pulled a subproblem from the global pool — the
+	// refill half of the two-level load balancing. Worker is the puller.
+	PoolGet
+	// PoolDonate: a worker donated its least promising subproblem to the
+	// empty global pool. Worker is the donor.
+	PoolDonate
+	// WorkerStart: a parallel worker began its Step-7 loop. Nodes is the
+	// size of its initial local pool.
+	WorkerStart
+	// WorkerDrain: a worker's local pool ran dry and it is about to
+	// block on the global pool.
+	WorkerDrain
+	// WorkerFinish: a worker's loop ended. Nodes is its expansion count.
+	WorkerFinish
+
+	// PhaseStart/PhaseEnd bracket one named stage of the decomposition
+	// pipeline (compact-set detection, reduction, merge, validation).
+	// PhaseEnd carries the phase duration in Elapsed.
+	PhaseStart
+	PhaseEnd
+	// SubproblemStart/SubproblemFinish bracket one reduced matrix solved
+	// during decomposition. Worker carries a sequential subproblem id, N
+	// the reduced matrix size; SubproblemFinish carries the solve
+	// duration in Elapsed and the subtree cost in Value.
+	SubproblemStart
+	SubproblemFinish
+)
+
+// MasterWorker is the Worker id used by the sequential engine and by the
+// parallel engine's master phase; real workers are numbered from 0.
+const MasterWorker = -1
+
+var kindNames = [...]string{
+	KindUnknown:      "unknown",
+	ProblemStart:     "problem_start",
+	SeedBound:        "seed_bound",
+	UBImproved:       "ub_improved",
+	SolutionFound:    "solution_found",
+	ProblemFinish:    "problem_finish",
+	PoolPut:          "pool_put",
+	PoolGet:          "pool_get",
+	PoolDonate:       "pool_donate",
+	WorkerStart:      "worker_start",
+	WorkerDrain:      "worker_drain",
+	WorkerFinish:     "worker_finish",
+	PhaseStart:       "phase_start",
+	PhaseEnd:         "phase_end",
+	SubproblemStart:  "subproblem_start",
+	SubproblemFinish: "subproblem_finish",
+}
+
+// String returns the snake_case event name used in logs and metrics.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one typed telemetry datum. Fields are kind-specific; unused
+// fields are zero. See the Kind constants for which fields each kind
+// carries.
+type Event struct {
+	Kind    Kind
+	Worker  int           // worker id, MasterWorker for sequential/master contexts
+	Value   float64       // bound / cost, when meaningful
+	Nodes   int64         // nodes expanded by the emitting context
+	N       int           // problem or subproblem size (species)
+	Phase   string        // phase name for PhaseStart/PhaseEnd
+	Elapsed time.Duration // since search start; phase/subproblem duration on *End/*Finish
+}
+
+// Probe receives telemetry events. Implementations must be safe for
+// concurrent use: the parallel engine emits from every worker goroutine
+// (UBImproved additionally under the incumbent lock, which serializes
+// bound improvements). A nil Probe means "no telemetry"; emitters check
+// for nil rather than calling a no-op, so the uninstrumented cost is one
+// branch.
+type Probe interface {
+	Emit(Event)
+}
+
+// ProbeFunc adapts a function to the Probe interface.
+type ProbeFunc func(Event)
+
+// Emit calls f.
+func (f ProbeFunc) Emit(ev Event) { f(ev) }
+
+// Multi fans one event stream out to several probes. Nil entries are
+// dropped; a result with zero live probes is nil, preserving the
+// "nil means uninstrumented" fast path.
+func Multi(probes ...Probe) Probe {
+	live := make(multiProbe, 0, len(probes))
+	for _, p := range probes {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+type multiProbe []Probe
+
+func (m multiProbe) Emit(ev Event) {
+	for _, p := range m {
+		p.Emit(ev)
+	}
+}

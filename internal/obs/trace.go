@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// Tracer is a Probe that renders events as structured slog records. The
+// UB-convergence signal (seed bound, every strict improvement, phase and
+// subproblem boundaries, search start/finish) logs at Info; the chatty
+// load-balancing traffic (pool gets/puts/donations, worker drain and
+// lifecycle, non-improving solutions) logs at Debug. A handler filtered
+// at Info therefore shows exactly the convergence trace (`-progress`),
+// while a Debug handler shows everything (`-trace`).
+type Tracer struct {
+	l *slog.Logger
+}
+
+// NewTracer returns a Tracer writing to l. A nil l returns a nil Probe so
+// callers can pass the result straight into an Options field.
+func NewTracer(l *slog.Logger) Probe {
+	if l == nil {
+		return nil
+	}
+	return &Tracer{l: l}
+}
+
+// Emit implements Probe. slog handlers are safe for concurrent use, so a
+// single Tracer may serve every worker goroutine.
+func (t *Tracer) Emit(ev Event) {
+	level := slog.LevelDebug
+	switch ev.Kind {
+	case ProblemStart, SeedBound, UBImproved, ProblemFinish,
+		PhaseStart, PhaseEnd, SubproblemStart, SubproblemFinish:
+		level = slog.LevelInfo
+	}
+	if !t.l.Enabled(context.Background(), level) {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 6)
+	switch ev.Kind {
+	case ProblemStart:
+		attrs = append(attrs, slog.Int("species", ev.N))
+	case SeedBound, UBImproved, SolutionFound, ProblemFinish:
+		attrs = append(attrs,
+			slog.Float64("ub", ev.Value),
+			slog.Int("worker", ev.Worker),
+			slog.Int64("expanded", ev.Nodes),
+			slog.Duration("elapsed", ev.Elapsed))
+	case PhaseStart, PhaseEnd:
+		attrs = append(attrs, slog.String("phase", ev.Phase))
+		if ev.Kind == PhaseEnd {
+			attrs = append(attrs, slog.Duration("took", ev.Elapsed))
+		}
+	case SubproblemStart:
+		attrs = append(attrs,
+			slog.Int("subproblem", ev.Worker),
+			slog.Int("species", ev.N))
+	case SubproblemFinish:
+		attrs = append(attrs,
+			slog.Int("subproblem", ev.Worker),
+			slog.Int("species", ev.N),
+			slog.Float64("cost", ev.Value),
+			slog.Duration("took", ev.Elapsed))
+	default: // pool and worker lifecycle traffic
+		attrs = append(attrs,
+			slog.Int("worker", ev.Worker),
+			slog.Int64("nodes", ev.Nodes),
+			slog.Duration("elapsed", ev.Elapsed))
+	}
+	t.l.LogAttrs(context.Background(), level, ev.Kind.String(), attrs...)
+}

@@ -24,9 +24,11 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"evotree/internal/bb"
 	"evotree/internal/matrix"
+	"evotree/internal/obs"
 	"evotree/internal/tree"
 )
 
@@ -75,13 +77,28 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 	}
 	res := &Result{WorkerStats: make([]bb.Stats, opt.Workers)}
 	res.Optimal = true
+	start := time.Now()
+	probe := opt.Probe
+	if probe != nil {
+		probe.Emit(obs.Event{Kind: obs.ProblemStart, Worker: obs.MasterWorker, N: p.N()})
+	}
 
 	inc := newIncumbent(opt.CollectAll)
+	inc.probe, inc.start = probe, start
 	ubTree, ub := p.InitialUpperBound()
+	if opt.NoInitialUB {
+		// Honor the ablation flag exactly like the sequential engine: the
+		// search starts from an infinite bound instead of the UPGMM seed.
+		ub, ubTree = math.Inf(1), nil
+	}
 	if opt.InitialUB > 0 && opt.InitialUB < ub {
 		ub, ubTree = opt.InitialUB, nil
 	}
 	inc.seed(ub, ubTree)
+	if probe != nil && !math.IsInf(ub, 1) {
+		probe.Emit(obs.Event{Kind: obs.SeedBound, Worker: obs.MasterWorker,
+			Value: ub, Elapsed: time.Since(start)})
+	}
 
 	// Master phase: breadth-first branching until the frontier is large
 	// enough to feed every worker (Steps 1–5).
@@ -93,7 +110,7 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 		v := frontier[0]
 		frontier = frontier[1:]
 		if v.Complete(p) {
-			inc.offer(p, v, opt.CollectAll, &masterStats)
+			inc.offer(p, v, opt.CollectAll, &masterStats, obs.MasterWorker)
 			continue
 		}
 		masterStats.Expanded++
@@ -105,7 +122,7 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 				continue
 			}
 			if ch.Complete(p) {
-				inc.offer(p, ch, opt.CollectAll, &masterStats)
+				inc.offer(p, ch, opt.CollectAll, &masterStats, obs.MasterWorker)
 				continue
 			}
 			frontier = append(frontier, ch)
@@ -117,11 +134,12 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 	// Step 6: cyclic dispatch; a 1/(workers+1) share stays in the global
 	// pool (the paper's master "preserves 1/p nodes in GP").
 	gp := newGlobalPool()
+	gp.probe, gp.start = probe, start
 	locals := make([][]*bb.PNode, opt.Workers)
 	for i, v := range frontier {
 		slot := i % (opt.Workers + 1)
 		if slot == opt.Workers {
-			gp.put(v)
+			gp.put(v, obs.MasterWorker, obs.PoolPut)
 		} else {
 			locals[slot] = append(locals[slot], v)
 		}
@@ -147,7 +165,7 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cancelled[w] = runWorker(p, opt, gp, inc, locals[w], &res.WorkerStats[w], budget)
+			cancelled[w] = runWorker(p, opt, gp, inc, locals[w], &res.WorkerStats[w], budget, w, start)
 		}(w)
 	}
 	wg.Wait()
@@ -171,6 +189,10 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 	if res.Tree == nil && ubTree != nil {
 		res.Tree = ubTree
 	}
+	if probe != nil {
+		probe.Emit(obs.Event{Kind: obs.ProblemFinish, Worker: obs.MasterWorker,
+			Value: res.Cost, Nodes: res.Stats.Expanded, Elapsed: time.Since(start)})
+	}
 	return res
 }
 
@@ -178,7 +200,16 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 // whether it stopped early (context cancelled or shared expansion budget
 // exhausted).
 func runWorker(p *bb.Problem, opt Options, gp *globalPool, inc *incumbent,
-	local []*bb.PNode, stats *bb.Stats, budget *atomic.Int64) bool {
+	local []*bb.PNode, stats *bb.Stats, budget *atomic.Int64, id int, start time.Time) bool {
+	probe := opt.Probe
+	if probe != nil {
+		probe.Emit(obs.Event{Kind: obs.WorkerStart, Worker: id,
+			Nodes: int64(len(local)), Elapsed: time.Since(start)})
+		defer func() {
+			probe.Emit(obs.Event{Kind: obs.WorkerFinish, Worker: id,
+				Nodes: stats.Expanded, Elapsed: time.Since(start)})
+		}()
+	}
 	cancelled := false
 	done := func() bool {
 		if cancelled {
@@ -204,7 +235,11 @@ func runWorker(p *bb.Problem, opt Options, gp *globalPool, inc *incumbent,
 	sortByLBDesc(local)
 	for {
 		if len(local) == 0 {
-			v, ok := gp.get()
+			if probe != nil {
+				probe.Emit(obs.Event{Kind: obs.WorkerDrain, Worker: id,
+					Nodes: stats.Expanded, Elapsed: time.Since(start)})
+			}
+			v, ok := gp.get(id)
 			if !ok {
 				return cancelled
 			}
@@ -230,7 +265,7 @@ func runWorker(p *bb.Problem, opt Options, gp *globalPool, inc *incumbent,
 			continue
 		}
 		if v.Complete(p) {
-			inc.offer(p, v, opt.CollectAll, stats)
+			inc.offer(p, v, opt.CollectAll, stats, id)
 			gp.finish(1)
 			continue
 		}
@@ -249,7 +284,7 @@ func runWorker(p *bb.Problem, opt Options, gp *globalPool, inc *incumbent,
 				continue
 			}
 			if ch.Complete(p) {
-				inc.offer(p, ch, opt.CollectAll, stats)
+				inc.offer(p, ch, opt.CollectAll, stats, id)
 				continue
 			}
 			local = append(local, ch)
@@ -260,7 +295,7 @@ func runWorker(p *bb.Problem, opt Options, gp *globalPool, inc *incumbent,
 		// Two-level load balancing: when the global pool has run dry and
 		// we still hold spare work, donate our least promising node.
 		if added > 0 && gp.empty() && len(local) > 1 {
-			gp.put(local[0])
+			gp.put(local[0], id, obs.PoolDonate)
 			local = local[1:]
 		}
 	}
@@ -276,6 +311,8 @@ type incumbent struct {
 	collectAll bool
 	solutions  int64
 	updates    int64
+	probe      obs.Probe // emitted to under mu, so UB events are ordered
+	start      time.Time
 }
 
 func newIncumbent(collectAll bool) *incumbent {
@@ -303,8 +340,11 @@ func (c *incumbent) bound() float64 {
 
 // offer records a complete topology, updating the shared bound when it is a
 // strict improvement — the "update the GUB to every node" broadcast of the
-// paper (shared memory makes the broadcast implicit).
-func (c *incumbent) offer(p *bb.Problem, v *bb.PNode, collectAll bool, stats *bb.Stats) {
+// paper (shared memory makes the broadcast implicit). worker identifies the
+// finder for telemetry; the probe is invoked while holding the incumbent
+// lock so that UBImproved events form a strictly decreasing sequence even
+// when several workers improve the bound concurrently.
+func (c *incumbent) offer(p *bb.Problem, v *bb.PNode, collectAll bool, stats *bb.Stats, worker int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch {
@@ -317,6 +357,10 @@ func (c *incumbent) offer(p *bb.Problem, v *bb.PNode, collectAll bool, stats *bb
 			c.trees = c.trees[:0]
 			c.trees = append(c.trees, c.tree)
 		}
+		if c.probe != nil {
+			c.probe.Emit(obs.Event{Kind: obs.UBImproved, Worker: worker,
+				Value: v.Cost, Nodes: stats.Expanded, Elapsed: time.Since(c.start)})
+		}
 	case v.Cost == c.ub:
 		c.solutions++
 		if collectAll {
@@ -324,6 +368,10 @@ func (c *incumbent) offer(p *bb.Problem, v *bb.PNode, collectAll bool, stats *bb
 		}
 		if c.tree == nil {
 			c.tree = v.Tree(p)
+		}
+		if c.probe != nil {
+			c.probe.Emit(obs.Event{Kind: obs.SolutionFound, Worker: worker,
+				Value: v.Cost, Nodes: stats.Expanded, Elapsed: time.Since(c.start)})
 		}
 	}
 }
@@ -342,6 +390,8 @@ type globalPool struct {
 	done     bool
 	gets     int64
 	puts     int64
+	probe    obs.Probe
+	start    time.Time
 }
 
 func newGlobalPool() *globalPool {
@@ -383,22 +433,29 @@ func (gp *globalPool) markDone() {
 	gp.mu.Unlock()
 }
 
-func (gp *globalPool) put(v *bb.PNode) {
+// put adds a subproblem to the pool. kind distinguishes a master dispatch
+// (obs.PoolPut) from a worker donation (obs.PoolDonate) in the telemetry.
+func (gp *globalPool) put(v *bb.PNode, worker int, kind obs.Kind) {
 	gp.mu.Lock()
 	gp.items = append(gp.items, v)
 	gp.puts++
+	size := int64(len(gp.items))
 	gp.cond.Broadcast()
 	gp.mu.Unlock()
+	if gp.probe != nil {
+		gp.probe.Emit(obs.Event{Kind: kind, Worker: worker,
+			Nodes: size, Elapsed: time.Since(gp.start)})
+	}
 }
 
 // get blocks until a subproblem is available or the search has terminated.
-func (gp *globalPool) get() (*bb.PNode, bool) {
+func (gp *globalPool) get(worker int) (*bb.PNode, bool) {
 	gp.mu.Lock()
-	defer gp.mu.Unlock()
 	for len(gp.items) == 0 && !gp.done {
 		gp.cond.Wait()
 	}
 	if len(gp.items) == 0 {
+		gp.mu.Unlock()
 		return nil, false
 	}
 	// Hand out the most promising pooled node (lowest LB).
@@ -412,6 +469,12 @@ func (gp *globalPool) get() (*bb.PNode, bool) {
 	gp.items[best] = gp.items[len(gp.items)-1]
 	gp.items = gp.items[:len(gp.items)-1]
 	gp.gets++
+	size := int64(len(gp.items))
+	gp.mu.Unlock()
+	if gp.probe != nil {
+		gp.probe.Emit(obs.Event{Kind: obs.PoolGet, Worker: worker,
+			Nodes: size, Elapsed: time.Since(gp.start)})
+	}
 	return v, true
 }
 

@@ -1,0 +1,167 @@
+package pbb
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"evotree/internal/bb"
+	"evotree/internal/matrix"
+	"evotree/internal/obs"
+)
+
+// recorder is a concurrency-safe probe that keeps every event in arrival
+// order. UBImproved events are emitted under the incumbent lock, so their
+// recorded order is the true bound-improvement order.
+type recorder struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (r *recorder) Emit(ev obs.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+func (r *recorder) byKind(k obs.Kind) []obs.Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []obs.Event
+	for _, ev := range r.events {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestProbeEventOrderingAndUBMonotonicity(t *testing.T) {
+	const workers = 4
+	m := matrix.Random0100(rand.New(rand.NewSource(7)), 13)
+	rec := &recorder{}
+	opt := DefaultOptions(workers)
+	opt.Probe = rec
+	res, err := Solve(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("search did not complete")
+	}
+
+	rec.mu.Lock()
+	events := append([]obs.Event(nil), rec.events...)
+	rec.mu.Unlock()
+	if len(events) == 0 || events[0].Kind != obs.ProblemStart {
+		t.Fatalf("first event must be problem_start, got %+v", events[:min(3, len(events))])
+	}
+	if last := events[len(events)-1]; last.Kind != obs.ProblemFinish || last.Value != res.Cost {
+		t.Fatalf("last event must be problem_finish with the final cost, got %+v", last)
+	}
+
+	seeds := rec.byKind(obs.SeedBound)
+	if len(seeds) != 1 {
+		t.Fatalf("want exactly one seed_bound, got %d", len(seeds))
+	}
+	ubs := rec.byKind(obs.UBImproved)
+	prev := seeds[0].Value
+	for i, ev := range ubs {
+		if ev.Value >= prev {
+			t.Fatalf("ub event %d not a strict improvement: %v -> %v", i, prev, ev.Value)
+		}
+		if ev.Worker < obs.MasterWorker || ev.Worker >= workers {
+			t.Fatalf("ub event %d has invalid worker id %d", i, ev.Worker)
+		}
+		if ev.Elapsed < 0 {
+			t.Fatalf("ub event %d has negative elapsed", i)
+		}
+		prev = ev.Value
+	}
+	if prev != res.Cost {
+		t.Fatalf("last bound %v != final cost %v", prev, res.Cost)
+	}
+
+	if got := len(rec.byKind(obs.WorkerStart)); got != workers {
+		t.Fatalf("worker_start events = %d, want %d", got, workers)
+	}
+	if got := len(rec.byKind(obs.WorkerFinish)); got != workers {
+		t.Fatalf("worker_finish events = %d, want %d", got, workers)
+	}
+	if got := int64(len(rec.byKind(obs.PoolGet))); got != res.PoolGets {
+		t.Fatalf("pool_get events = %d, stats say %d", got, res.PoolGets)
+	}
+	puts := int64(len(rec.byKind(obs.PoolPut)) + len(rec.byKind(obs.PoolDonate)))
+	if puts != res.PoolPuts {
+		t.Fatalf("pool put+donate events = %d, stats say %d", puts, res.PoolPuts)
+	}
+}
+
+// TestNoInitialUBHonored is the regression test for the parallel engine
+// ignoring Options.NoInitialUB: the ablation must actually start from an
+// infinite bound (no seed event, at least one self-found improvement) and
+// still reach the same optimum.
+func TestNoInitialUBHonored(t *testing.T) {
+	m := matrix.Random0100(rand.New(rand.NewSource(11)), 10)
+	ref, err := Solve(m, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &recorder{}
+	opt := DefaultOptions(4)
+	opt.NoInitialUB = true
+	opt.Probe = rec
+	res, err := Solve(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Cost != ref.Cost {
+		t.Fatalf("ablated run: optimal=%v cost=%v, want cost %v", res.Optimal, res.Cost, ref.Cost)
+	}
+	if len(rec.byKind(obs.SeedBound)) != 0 {
+		t.Fatal("NoInitialUB run must not emit a seed bound")
+	}
+	ubs := rec.byKind(obs.UBImproved)
+	if len(ubs) == 0 {
+		t.Fatal("search from an infinite bound must improve the bound at least once")
+	}
+	if first := ubs[0]; math.IsInf(first.Value, 1) {
+		t.Fatal("first improvement must be finite")
+	}
+	if res.Stats.UBUpdates < 1 {
+		t.Fatalf("stats missed the bound updates: %+v", res.Stats)
+	}
+}
+
+// TestSequentialProbeParity checks the sequential engine emits the same
+// event shape (start, seed, ordered improvements, finish).
+func TestSequentialProbeParity(t *testing.T) {
+	m := matrix.Random0100(rand.New(rand.NewSource(5)), 11)
+	rec := &recorder{}
+	opt := bb.DefaultOptions()
+	opt.Probe = rec
+	res, err := bb.Solve(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := rec.byKind(obs.SeedBound)
+	if len(seeds) != 1 {
+		t.Fatalf("seed events = %d", len(seeds))
+	}
+	prev := seeds[0].Value
+	for _, ev := range rec.byKind(obs.UBImproved) {
+		if ev.Value >= prev || ev.Worker != obs.MasterWorker {
+			t.Fatalf("bad sequential ub event %+v (prev %v)", ev, prev)
+		}
+		prev = ev.Value
+	}
+	if prev != res.Cost {
+		t.Fatalf("last bound %v != cost %v", prev, res.Cost)
+	}
+	fins := rec.byKind(obs.ProblemFinish)
+	if len(fins) != 1 || fins[0].Nodes != res.Stats.Expanded {
+		t.Fatalf("problem_finish = %+v, want Nodes=%d", fins, res.Stats.Expanded)
+	}
+}

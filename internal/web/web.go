@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"html/template"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"evotree/internal/compact"
 	"evotree/internal/core"
 	"evotree/internal/matrix"
+	"evotree/internal/obs"
 	"evotree/internal/seqsim"
 	"evotree/internal/upgma"
 )
@@ -30,22 +32,62 @@ type Server struct {
 	MaxNodes int64
 	// Workers for the parallel construction. Default 4.
 	Workers int
+	// Logger, when non-nil, enables structured per-request access logging
+	// and request-level error logging.
+	Logger *slog.Logger
+	// Registry collects the server's metrics and backs GET /metrics.
+	// NewServer creates one; replace it to share a registry across
+	// components.
+	Registry *obs.Registry
+
+	httpm  *obs.HTTPMetrics
+	search *obs.SearchMetrics
+	builds *obs.CounterVec
+	buildS *obs.HistogramVec
 }
 
 // NewServer returns a server with production defaults.
 func NewServer() *Server {
-	return &Server{MaxSpecies: 32, MaxNodes: 500_000, Workers: 4}
+	return &Server{
+		MaxSpecies: 32,
+		MaxNodes:   500_000,
+		Workers:    4,
+		Registry:   obs.NewRegistry(),
+	}
 }
 
-// Handler returns the HTTP handler tree.
+// Handler returns the HTTP handler tree: the app routes wrapped in the
+// telemetry middleware stack (in-flight gauge, per-route request counter
+// and latency histogram, optional access log) plus GET /metrics serving
+// the registry in Prometheus text format.
 func (s *Server) Handler() http.Handler {
+	s.httpm = obs.NewHTTPMetrics(s.Registry, "evoweb")
+	s.search = obs.NewSearchMetrics(s.Registry)
+	s.builds = s.Registry.CounterVec("evoweb_builds_total",
+		"Trees built, by algorithm.", "algorithm")
+	s.buildS = s.Registry.HistogramVec("evoweb_build_seconds",
+		"Wall-clock tree construction time, by algorithm.", nil, "algorithm")
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /{$}", s.handleIndex)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	handle := func(pattern, route string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.httpm.Wrap(route, h))
+	}
+	handle("GET /{$}", "/", s.handleIndex)
+	handle("GET /healthz", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("POST /api/tree", s.handleTree)
-	return mux
+	handle("POST /api/tree", "/api/tree", s.handleTree)
+	mux.Handle("GET /metrics", s.httpm.Wrap("/metrics", s.Registry.Handler()))
+	return obs.AccessLog(s.Logger, mux)
+}
+
+// InFlight reports the number of requests currently being served; evoweb
+// logs it on graceful shutdown. Zero before Handler is first called.
+func (s *Server) InFlight() int64 {
+	if s.httpm == nil {
+		return 0
+	}
+	return s.httpm.InFlight.Value()
 }
 
 // Request is the JSON (or form) payload of POST /api/tree.
@@ -139,6 +181,9 @@ func (s *Server) Build(req *Request) (*Response, error) {
 	bbOpt := bb.DefaultOptions()
 	bbOpt.MaxNodes = s.MaxNodes
 	bbOpt.ThreeThree = req.ThreeThree
+	if s.search != nil {
+		bbOpt.Probe = s.search
+	}
 
 	resp := &Response{Species: m.Len(), Algorithm: algo, Complete: true}
 	start := time.Now()
@@ -200,7 +245,12 @@ func (s *Server) Build(req *Request) (*Response, error) {
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q (want compact|bb|upgma|upgmm)", algo)
 	}
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	elapsed := time.Since(start)
+	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	if s.builds != nil {
+		s.builds.With(algo).Inc()
+		s.buildS.With(algo).Observe(elapsed.Seconds())
+	}
 	return resp, nil
 }
 

@@ -1,11 +1,14 @@
 package web
 
 import (
+	"bytes"
 	"encoding/json"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -156,6 +159,110 @@ func TestMaxNodesMarksIncomplete(t *testing.T) {
 	}
 	if resp.Newick == "" {
 		t.Fatal("incomplete search must still return the incumbent tree")
+	}
+}
+
+// scrapeMetrics fetches /metrics and returns the exposition body.
+func scrapeMetrics(t *testing.T, h http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	return rec.Body.String()
+}
+
+// metricValue parses one sample line ("name{labels} value") out of the
+// exposition, proving the output is machine-readable.
+func metricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, series+" ") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(line, series+" "), 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("series %q not found in:\n%s", series, body)
+	return 0
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h := NewServer().Handler()
+	// Two successful builds and one malformed request.
+	for i := 0; i < 2; i++ {
+		body, _ := json.Marshal(Request{Matrix: sampleMatrix, Algorithm: "bb"})
+		if rec, resp := postJSON(t, h, string(body)); resp == nil {
+			t.Fatalf("build %d failed: %d", i, rec.Code)
+		}
+	}
+	postJSON(t, h, "{") // 400
+
+	body := scrapeMetrics(t, h)
+	if got := metricValue(t, body, `evoweb_requests_total{route="/api/tree",code="200"}`); got != 2 {
+		t.Fatalf("200 counter = %v, want 2", got)
+	}
+	if got := metricValue(t, body, `evoweb_requests_total{route="/api/tree",code="400"}`); got != 1 {
+		t.Fatalf("400 counter = %v, want 1", got)
+	}
+	if got := metricValue(t, body, `evoweb_request_seconds_count{route="/api/tree"}`); got != 3 {
+		t.Fatalf("latency histogram count = %v, want 3", got)
+	}
+	if got := metricValue(t, body, `evoweb_builds_total{algorithm="bb"}`); got != 2 {
+		t.Fatalf("builds counter = %v, want 2", got)
+	}
+	// The scrape itself is instrumented, so it sees itself in flight.
+	if got := metricValue(t, body, "evoweb_in_flight_requests"); got != 1 {
+		t.Fatalf("in-flight gauge = %v, want 1 (the scrape)", got)
+	}
+	// The search probe fed the registry: two bb solves started.
+	if got := metricValue(t, body, "evotree_searches_total"); got != 2 {
+		t.Fatalf("searches counter = %v, want 2", got)
+	}
+	// The /metrics scrape itself is instrumented on the next scrape.
+	body = scrapeMetrics(t, h)
+	if got := metricValue(t, body, `evoweb_requests_total{route="/metrics",code="200"}`); got < 1 {
+		t.Fatalf("metrics route not instrumented: %v", got)
+	}
+}
+
+func TestMiddlewareRecords4xx5xx(t *testing.T) {
+	s := NewServer()
+	s.MaxSpecies = 4
+	h := s.Handler()
+	// 422: over the species limit (a semantic rejection).
+	big, _ := json.Marshal(Request{Matrix: "5\na 0 1 1 1 1\nb 1 0 1 1 1\nc 1 1 0 1 1\nd 1 1 1 0 1\ne 1 1 1 1 0\n"})
+	if rec, _ := postJSON(t, h, string(big)); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("want 422, got %d", rec.Code)
+	}
+	// 400: malformed JSON.
+	postJSON(t, h, "not json")
+
+	body := scrapeMetrics(t, h)
+	if got := metricValue(t, body, `evoweb_requests_total{route="/api/tree",code="422"}`); got != 1 {
+		t.Fatalf("422 counter = %v, want 1", got)
+	}
+	if got := metricValue(t, body, `evoweb_requests_total{route="/api/tree",code="400"}`); got != 1 {
+		t.Fatalf("400 counter = %v, want 1", got)
+	}
+}
+
+func TestAccessLogWiredThroughHandler(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewServer()
+	s.Logger = slog.New(slog.NewTextHandler(&buf, nil))
+	h := s.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if !strings.Contains(buf.String(), "path=/healthz") || !strings.Contains(buf.String(), "status=200") {
+		t.Fatalf("access log missing request: %s", buf.String())
 	}
 }
 
