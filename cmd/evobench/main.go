@@ -34,8 +34,9 @@ func run(args []string, stdout io.Writer) error {
 		list    = fs.Bool("list", false, "list experiment ids and exit")
 		seed    = fs.Int64("seed", 2005, "workload RNG seed")
 		workers = fs.Int("workers", 4, "goroutine workers for real parallel runs")
-		quick   = fs.Bool("quick", false, "shrink sweeps for a fast run")
-		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text tables")
+		quick    = fs.Bool("quick", false, "shrink sweeps for a fast run")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text tables")
+		benchout = fs.String("benchout", "", "write the kernel experiment's JSON report to this file")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -51,7 +52,7 @@ func run(args []string, stdout io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("pick an experiment with -fig (or -list)")
 	}
-	cfg := experiments.Config{Seed: *seed, Workers: *workers, Quick: *quick}
+	cfg := experiments.Config{Seed: *seed, Workers: *workers, Quick: *quick, BenchOut: *benchout}
 	ids := experiments.IDs()
 	if *fig != "all" {
 		ids = strings.Split(*fig, ",")

@@ -1,0 +1,91 @@
+package bb
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExpandSteadyStateAllocations guards the pooled kernel: once a worker's
+// free list is warm, an expand/release cycle may allocate only the children
+// slice (a handful of appends), never per-node storage. A regression that
+// re-introduces per-child cloning allocations trips this immediately.
+func TestExpandSteadyStateAllocations(t *testing.T) {
+	p, err := NewProblem(kernelMatrix(12), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := p.NewPool()
+	// Walk to a mid-depth node so expansions produce a realistic fan-out.
+	v := p.Root()
+	for v.K < 7 {
+		children := expandAll(p, v, np)
+		next := children[0]
+		for _, ch := range children[1:] {
+			np.Put(ch)
+		}
+		v = next
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		children, _ := p.Expand(v, Constraints{}, math.Inf(1), false, np)
+		for _, ch := range children {
+			np.Put(ch)
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("expand/release cycle allocates %.0f objects, want ≤ 8 (children slice only)", allocs)
+	}
+}
+
+// TestPrunedChildrenAllocateNothing guards the pre-clone bound check: when
+// the upper bound prunes every candidate, Expand must not allocate at all —
+// the bound is computed against the parent before any clone exists.
+func TestPrunedChildrenAllocateNothing(t *testing.T) {
+	p, err := NewProblem(kernelMatrix(12), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := p.Root()
+	// ub = v.LB: every child has LB ≥ parent LB, so all prune (collectAll
+	// off prunes lb == ub too).
+	allocs := testing.AllocsPerRun(200, func() {
+		children, pruned := p.Expand(v, Constraints{}, v.LB, false, nil)
+		if len(children) != 0 {
+			t.Fatal("expected every child pruned")
+		}
+		if pruned == 0 {
+			t.Fatal("expected a non-zero pruned count")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("fully pruned expansion allocates %.0f objects, want 0", allocs)
+	}
+}
+
+// TestNodePoolRecyclesNodes checks the free-list round trip: a node put back
+// is handed out again, and a drained pool falls back to fresh allocation.
+func TestNodePoolRecyclesNodes(t *testing.T) {
+	p, err := NewProblem(kernelMatrix(6), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := p.NewPool()
+	v := p.Root()
+	children, _ := p.Expand(v, Constraints{}, math.Inf(1), false, np)
+	if len(children) == 0 {
+		t.Fatal("no children")
+	}
+	recycled := children[0]
+	np.Put(recycled)
+	if got := np.get(p.n); got != recycled {
+		t.Fatal("pool did not hand back the recycled node")
+	}
+	if got := np.get(p.n); got == nil || got == recycled {
+		t.Fatal("drained pool must allocate a fresh node")
+	}
+	// A nil pool must stay usable end to end.
+	var nilPool *NodePool
+	if nilPool.get(p.n) == nil {
+		t.Fatal("nil pool must allocate")
+	}
+	nilPool.Put(v) // no-op, must not panic
+}

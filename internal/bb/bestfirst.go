@@ -49,24 +49,34 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 	if opt.Probe != nil {
 		opt.Probe.Emit(obs.Event{Kind: obs.ProblemStart, Worker: obs.MasterWorker, N: p.n})
 	}
-	ubTree, ub := p.InitialUpperBound()
+	ubTree, ubCost := p.InitialUpperBound()
+	ub := ubCost
 	if opt.NoInitialUB {
 		ub, ubTree = math.Inf(1), nil
 	}
-	if opt.InitialUB > 0 && opt.InitialUB < ub {
+	external := opt.InitialUB > 0 && opt.InitialUB < ub
+	if external {
 		ub = opt.InitialUB
-		ubTree = nil
 	}
 	if opt.Probe != nil && !math.IsInf(ub, 1) {
 		opt.Probe.Emit(obs.Event{Kind: obs.SeedBound, Worker: obs.MasterWorker,
 			Value: ub, Elapsed: time.Since(start)})
 	}
-	res.Tree, res.Cost = ubTree, ub
-	if opt.CollectAll && ubTree != nil {
-		res.Trees = []*tree.Tree{ubTree}
+	if external {
+		res.Tree, res.Cost = nil, ub
+	} else {
+		res.Tree, res.Cost = ubTree, ub
+		if opt.CollectAll && ubTree != nil {
+			res.Trees = []*tree.Tree{ubTree}
+		}
 	}
 	res.Optimal = true
 	defer func() {
+		if res.Tree == nil && ubTree != nil {
+			// Nothing beat the external bound: report the feasible UPGMM
+			// incumbent so Tree and Cost agree (see Result).
+			res.Tree, res.Cost = ubTree, ubCost
+		}
 		if opt.Probe != nil {
 			opt.Probe.Emit(obs.Event{Kind: obs.ProblemFinish, Worker: obs.MasterWorker,
 				Value: res.Cost, Nodes: res.Stats.Expanded, Elapsed: time.Since(start)})
@@ -76,6 +86,7 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 	// Like SolveSequential, gate the cancellation check on iterations
 	// rather than expansions, which can stall during pruning streaks.
 	var iter int64
+	np := p.NewPool()
 	frontier := &nodeHeap{p.Root()}
 	heap.Init(frontier)
 	for frontier.Len() > 0 {
@@ -103,15 +114,19 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 			break
 		}
 		res.Stats.Expanded++
-		children := p.Expand(v, opt.Constraints)
-		res.Stats.Generated += int64(len(children))
+		children, pruned := p.Expand(v, opt.Constraints, ub, opt.CollectAll, np)
+		res.Stats.Generated += int64(len(children)) + pruned
+		res.Stats.PrunedLB += pruned
+		np.Put(v)
 		for _, ch := range children {
 			if prune(ch.LB, ub, opt.CollectAll) {
 				res.Stats.PrunedLB++
+				np.Put(ch)
 				continue
 			}
 			if ch.Complete(p) {
 				ub = p.recordSolution(ch, ub, opt, res, start)
+				np.Put(ch)
 				continue
 			}
 			heap.Push(frontier, ch)

@@ -2,6 +2,7 @@ package bb
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -28,7 +29,8 @@ func TestBranchRuleEnumeratesAllTopologies(t *testing.T) {
 				seen[topologyKey(v.Tree(p))]++
 				return
 			}
-			for _, ch := range p.Expand(v, Constraints{}) {
+			children, _ := p.Expand(v, Constraints{}, math.Inf(1), false, nil)
+			for _, ch := range children {
 				rec(ch)
 			}
 		}
@@ -79,7 +81,7 @@ func TestExpandPositionsDistinct(t *testing.T) {
 	}
 	v := p.Root()
 	for !v.Complete(p) {
-		children := p.Expand(v, Constraints{})
+		children, _ := p.Expand(v, Constraints{}, math.Inf(1), false, nil)
 		keys := map[string]bool{}
 		for _, ch := range children {
 			k := topologyKey(ch.Tree(p))

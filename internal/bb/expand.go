@@ -1,7 +1,5 @@
 package bb
 
-import "sort"
-
 // Constraints control the optional search-space reductions.
 type Constraints struct {
 	// ThreeThree applies the 3-3 relationship when the third species is
@@ -18,55 +16,96 @@ type Constraints struct {
 
 // Expand generates the children of v in the BBT by inserting permuted
 // species v.K at every position, applying the configured 3-3 constraints,
-// and returns them sorted by ascending lower bound. v must not be complete.
-func (p *Problem) Expand(v *PNode, c Constraints) []*PNode {
+// and returns the survivors sorted by ascending lower bound plus the count
+// of children pruned against ub. v must not be complete.
+//
+// The bound check runs BEFORE cloning: each candidate's Cost (and hence
+// LB) is computed read-only against the parent, so a pruned child costs no
+// allocation at all. ub is the caller's current upper bound (+Inf for an
+// unbounded expansion); collectAll keeps LB == ub children alive, exactly
+// like the engines' prune predicate. Kept children are drawn from np (nil
+// allocates fresh nodes). The returned pruned count feeds the callers'
+// Generated/PrunedLB statistics.
+func (p *Problem) Expand(v *PNode, c Constraints, ub float64, collectAll bool, np *NodePool) (children []*PNode, pruned int64) {
 	s := v.K
 	if s >= p.n {
-		return nil
+		return nil, 0
 	}
 	positions := v.Positions()
-	allowed := make([]int, 0, positions)
+	var allowed [3]int32
+	restricted := false
 	if c.ThreeThree && s == 2 {
-		allowed = p.thirdSpeciesPositions(v, allowed)
-	} else {
-		for pos := 0; pos < positions; pos++ {
-			allowed = append(allowed, pos)
+		restricted = true
+		allowed = p.thirdSpeciesPositions()
+	}
+	tail := p.tail[s+1]
+	for pos := 0; pos < positions; pos++ {
+		if restricted && allowed[pos] == 0 {
+			continue
 		}
+		lb := p.childBound(v, s, pos) + tail
+		if lb > ub || (!collectAll && lb == ub) {
+			pruned++
+			continue
+		}
+		children = append(children, p.insert(v, s, pos, np))
 	}
-	children := make([]*PNode, 0, len(allowed))
-	for _, pos := range allowed {
-		children = append(children, p.insert(v, s, pos))
-	}
-	if c.ThreeThreeAll && s >= 2 {
-		filtered := children[:0:len(children)]
+	if c.ThreeThreeAll && s >= 2 && len(children) > 0 {
+		keep := 0
 		for _, ch := range children {
 			if p.consistentInsertion(ch, s) {
-				filtered = append(filtered, ch)
+				keep++
 			}
 		}
-		if len(filtered) > 0 {
-			children = filtered
+		// Drop inconsistent children in place, unless that would eliminate
+		// every child (then the unfiltered set is used so the search never
+		// dead-ends).
+		if keep > 0 && keep < len(children) {
+			w := 0
+			for _, ch := range children {
+				if p.consistentInsertion(ch, s) {
+					children[w] = ch
+					w++
+				} else {
+					np.Put(ch)
+				}
+			}
+			children = children[:w]
 		}
 	}
-	sort.SliceStable(children, func(a, b int) bool { return children[a].LB < children[b].LB })
-	return children
+	sortByLBAsc(children)
+	return children, pruned
+}
+
+// sortByLBAsc insertion-sorts children by ascending LB. Child counts are
+// at most 2K−1 and the input is close to random, so the simple stable sort
+// beats sort.SliceStable here and allocates nothing.
+func sortByLBAsc(children []*PNode) {
+	for i := 1; i < len(children); i++ {
+		for j := i; j > 0 && children[j].LB < children[j-1].LB; j-- {
+			children[j], children[j-1] = children[j-1], children[j]
+		}
+	}
 }
 
 // thirdSpeciesPositions selects insertion positions for species 2 that are
-// consistent with the matrix relation on the triple {0, 1, 2}. Position 0
-// makes 0 and 2 siblings, position 1 makes 1 and 2 siblings, position 2
-// (above the root) keeps 0 and 1 siblings.
-func (p *Problem) thirdSpeciesPositions(v *PNode, dst []int) []int {
-	d01, d02, d12 := p.d[0][1], p.d[0][2], p.d[1][2]
+// consistent with the matrix relation on the triple {0, 1, 2}, as a
+// membership mask over positions 0..2. Position 0 makes 0 and 2 siblings,
+// position 1 makes 1 and 2 siblings, position 2 (above the root) keeps 0
+// and 1 siblings.
+func (p *Problem) thirdSpeciesPositions() (allowed [3]int32) {
+	d01, d02, d12 := p.dist(0, 1), p.dist(0, 2), p.dist(1, 2)
 	switch {
 	case d01 < d02 && d01 < d12:
-		return append(dst, 2)
+		allowed[2] = 1
 	case d02 < d01 && d02 < d12:
-		return append(dst, 0)
+		allowed[0] = 1
 	case d12 < d01 && d12 < d02:
-		return append(dst, 1)
+		allowed[1] = 1
+	default:
+		allowed = [3]int32{1, 1, 1}
 	}
-	return append(dst, 0, 1, 2)
+	return allowed
 }
 
 // consistentInsertion reports whether the triples involving the newly
@@ -76,7 +115,7 @@ func (p *Problem) thirdSpeciesPositions(v *PNode, dst []int) []int {
 func (p *Problem) consistentInsertion(ch *PNode, s int) bool {
 	for j := 0; j < s; j++ {
 		for k := j + 1; k < s; k++ {
-			dsj, dsk, djk := p.d[s][j], p.d[s][k], p.d[j][k]
+			dsj, dsk, djk := p.dist(s, j), p.dist(s, k), p.dist(j, k)
 			hsj := ch.lcaHeight(s, j)
 			hsk := ch.lcaHeight(s, k)
 			hjk := ch.lcaHeight(j, k)

@@ -1,6 +1,8 @@
 package bb
 
 import (
+	"unsafe"
+
 	"evotree/internal/tree"
 )
 
@@ -8,39 +10,116 @@ import (
 // over the first K permuted species together with its minimal ultrametric
 // realization (heights), its cost, and its lower bound. PNodes are
 // self-contained values so pools may move them freely between workers.
+//
+// All per-node storage lives in a single slab allocation sized for the
+// complete topology (2n−1 tree nodes), carved into the typed views below.
+// A partial topology with K leaves occupies entries [0, 2K−1) of each view
+// (and [0, K) of leafID); the remaining capacity is used in place as the
+// topology grows, so inserting a species never reallocates.
 type PNode struct {
 	K    int     // number of species placed (permuted ids 0..K-1)
 	Cost float64 // ω of the minimal UT realizing this partial topology
 	LB   float64 // Cost + tail(K); monotone along any root-to-leaf BBT path
 
-	// Flat binary-tree storage; node ids index these slices.
+	root   int32
+	sumInt float64 // Σ height over internal nodes (cost = sumInt + h(root))
+
+	// Flat binary-tree storage; node ids index these views into the slab.
 	parent  []int32
 	left    []int32
 	right   []int32
 	species []int32 // permuted species id for leaves, -1 for internal
+	leafID  []int32 // permuted species id -> node id (length n)
 	height  []float64
 	mask    []uint64 // set of permuted species under each node
-	leafID  []int32  // permuted species id -> node id
-	root    int32
-	sumInt  float64 // Σ height over internal nodes (cost = sumInt + h(root))
+}
+
+// newPNode allocates a node for an n-species problem: one slab holds every
+// field. The slab is a []uint64 (8-byte aligned by construction), so the
+// float64 and int32 views carved from it with unsafe.Slice are always
+// correctly aligned; the derived slices keep the backing array alive.
+func newPNode(n int) *PNode {
+	maxN := 2*n - 1                   // tree nodes in a complete topology
+	nInt32 := 4*maxN + n              // parent, left, right, species + leafID
+	words := 2*maxN + (nInt32+1)/2    // mask + height + packed int32 area
+	slab := make([]uint64, words)
+	v := &PNode{}
+	v.mask = slab[:maxN:maxN]
+	v.height = unsafe.Slice((*float64)(unsafe.Pointer(&slab[maxN])), maxN)
+	ints := unsafe.Slice((*int32)(unsafe.Pointer(&slab[2*maxN])), nInt32)
+	v.parent = ints[0*maxN : 1*maxN : 1*maxN]
+	v.left = ints[1*maxN : 2*maxN : 2*maxN]
+	v.right = ints[2*maxN : 3*maxN : 3*maxN]
+	v.species = ints[3*maxN : 4*maxN : 4*maxN]
+	v.leafID = ints[4*maxN : 4*maxN+n : 4*maxN+n]
+	return v
+}
+
+// copyFrom overwrites c with v's partial topology. Both nodes must belong
+// to problems of the same size.
+func (c *PNode) copyFrom(v *PNode) {
+	nn := 2*v.K - 1
+	c.K, c.Cost, c.LB = v.K, v.Cost, v.LB
+	c.root, c.sumInt = v.root, v.sumInt
+	copy(c.parent[:nn], v.parent[:nn])
+	copy(c.left[:nn], v.left[:nn])
+	copy(c.right[:nn], v.right[:nn])
+	copy(c.species[:nn], v.species[:nn])
+	copy(c.height[:nn], v.height[:nn])
+	copy(c.mask[:nn], v.mask[:nn])
+	copy(c.leafID[:v.K], v.leafID[:v.K])
+}
+
+// NodePool is a free list of PNodes for one problem. It is NOT safe for
+// concurrent use: every search goroutine owns its own pool (the paper's
+// per-worker discipline), and nodes may migrate between pools freely
+// because all nodes of a problem share one slab layout. A nil *NodePool is
+// valid and simply allocates fresh nodes.
+type NodePool struct {
+	n    int
+	free []*PNode
+}
+
+// NewPool returns an empty free list for p's node size.
+func (p *Problem) NewPool() *NodePool { return &NodePool{n: p.n} }
+
+// get returns a recycled node, or a freshly allocated one when the free
+// list is empty (or the pool is nil). n is the problem size, needed for
+// the nil-pool path.
+func (np *NodePool) get(n int) *PNode {
+	if np == nil || len(np.free) == 0 {
+		return newPNode(n)
+	}
+	v := np.free[len(np.free)-1]
+	np.free[len(np.free)-1] = nil
+	np.free = np.free[:len(np.free)-1]
+	return v
+}
+
+// Put recycles a node the caller no longer references. Putting nil is a
+// no-op, as is putting into a nil pool.
+func (np *NodePool) Put(v *PNode) {
+	if np == nil || v == nil {
+		return
+	}
+	np.free = append(np.free, v)
 }
 
 // Root returns the BBT root: the unique topology on permuted species 0, 1
 // (Step 2 of BBU).
 func (p *Problem) Root() *PNode {
-	h := p.d[0][1] / 2
-	v := &PNode{
-		K:       2,
-		parent:  []int32{2, 2, -1},
-		left:    []int32{-1, -1, 0},
-		right:   []int32{-1, -1, 1},
-		species: []int32{0, 1, -1},
-		height:  []float64{0, 0, h},
-		mask:    []uint64{1, 2, 3},
-		leafID:  []int32{0, 1},
-		root:    2,
-		sumInt:  h,
-	}
+	h := p.dist(0, 1) / 2
+	v := newPNode(p.n)
+	v.K = 2
+	v.parent[0], v.parent[1], v.parent[2] = 2, 2, -1
+	v.left[0], v.left[1], v.left[2] = -1, -1, 0
+	v.right[0], v.right[1], v.right[2] = -1, -1, 1
+	v.species[0], v.species[1], v.species[2] = 0, 1, -1
+	v.height[0], v.height[1], v.height[2] = 0, 0, h
+	v.mask[0], v.mask[1], v.mask[2] = 1, 2, 3
+	v.leafID[0], v.leafID[1] = 0, 1
+	v.root = 2
+	v.sumInt = h
 	v.Cost = v.sumInt + h
 	v.LB = v.Cost + p.tail[2]
 	return v
@@ -53,48 +132,71 @@ func (v *PNode) Positions() int { return 2*v.K - 1 }
 // Complete reports whether v places all species of p.
 func (v *PNode) Complete(p *Problem) bool { return v.K == p.n }
 
-// clone returns a deep copy with room for one more insertion (two more
-// nodes).
-func (v *PNode) clone() *PNode {
-	nn := len(v.species)
-	c := &PNode{
-		K: v.K, Cost: v.Cost, LB: v.LB,
-		parent:  append(make([]int32, 0, nn+2), v.parent...),
-		left:    append(make([]int32, 0, nn+2), v.left...),
-		right:   append(make([]int32, 0, nn+2), v.right...),
-		species: append(make([]int32, 0, nn+2), v.species...),
-		height:  append(make([]float64, 0, nn+2), v.height...),
-		mask:    append(make([]uint64, 0, nn+2), v.mask...),
-		leafID:  append(make([]int32, 0, v.K+1), v.leafID...),
-		root:    v.root,
-		sumInt:  v.sumInt,
+// childBound computes the Cost a child of v would have after inserting
+// permuted species s at pos — the same arithmetic insert performs, but
+// read-only and without cloning, so children that prune against the upper
+// bound never allocate. pos has insert's meaning.
+func (p *Problem) childBound(v *PNode, s, pos int) float64 {
+	if pos == 2*v.K-2 {
+		// Insert above the root.
+		h := p.maxDistToMask(s, v.mask[v.root]) / 2
+		if hr := v.height[v.root]; hr > h {
+			h = hr
+		}
+		// Written as two additions so the result is bit-identical to
+		// insert's (sumInt += h; Cost = sumInt + h) sequence: the prune
+		// decision must agree exactly with the LB insert would produce.
+		return v.sumInt + h + h
 	}
-	return c
+	e := int32(pos)
+	if e >= v.root {
+		e++ // the root has no parent edge
+	}
+	h := p.maxDistToMask(s, v.mask[e]) / 2
+	if v.height[e] > h {
+		h = v.height[e]
+	}
+	sum := v.sumInt + h
+	// Walk the ancestors exactly like insert's propagation loop, tracking
+	// the new height of the on-path child (hc) without writing anything.
+	hc := h
+	child := e
+	for u := v.parent[e]; u != -1; u = v.parent[u] {
+		other := v.left[u]
+		if other == child {
+			other = v.right[u]
+		}
+		hu := v.height[u]
+		if hc > hu {
+			hu = hc
+		}
+		if hx := p.maxDistToMask(s, v.mask[other]) / 2; hx > hu {
+			hu = hx
+		}
+		sum += hu - v.height[u]
+		hc = hu
+		child = u
+	}
+	return sum + hc // hc is the new root height
 }
 
-// insert returns a copy of v with permuted species s added. pos selects the
-// insertion position: pos in [0, 2K−2) indexes an edge (the parent edge of
-// node pos, skipping the root, in node-id order), and pos == 2K−2 inserts
-// above the root. The new node's Cost and LB are set.
-func (p *Problem) insert(v *PNode, s, pos int) *PNode {
-	c := v.clone()
+// insert returns a copy of v with permuted species s added, drawn from np.
+// pos selects the insertion position: pos in [0, 2K−2) indexes an edge (the
+// parent edge of node pos, skipping the root, in node-id order), and
+// pos == 2K−2 inserts above the root. The new node's Cost and LB are set.
+func (p *Problem) insert(v *PNode, s, pos int, np *NodePool) *PNode {
+	c := np.get(p.n)
+	c.copyFrom(v)
 	sb := uint64(1) << uint(s)
-	leaf := int32(len(c.species))
-	c.species = append(c.species, int32(s))
-	c.parent = append(c.parent, -1)
-	c.left = append(c.left, -1)
-	c.right = append(c.right, -1)
-	c.height = append(c.height, 0)
-	c.mask = append(c.mask, sb)
-	c.leafID = append(c.leafID, leaf)
-
-	in := int32(len(c.species)) // the new internal node
-	c.species = append(c.species, -1)
-	c.parent = append(c.parent, -1)
-	c.left = append(c.left, -1)
-	c.right = append(c.right, -1)
-	c.height = append(c.height, 0)
-	c.mask = append(c.mask, 0)
+	leaf := int32(2*v.K - 1) // the new leaf node
+	in := leaf + 1           // the new internal node
+	c.species[leaf], c.parent[leaf] = int32(s), -1
+	c.left[leaf], c.right[leaf] = -1, -1
+	c.height[leaf], c.mask[leaf] = 0, sb
+	c.leafID[s] = leaf
+	c.species[in], c.parent[in] = -1, -1
+	c.left[in], c.right[in] = -1, -1
+	c.height[in], c.mask[in] = 0, 0
 
 	if pos == 2*v.K-2 {
 		// Insert above the root: in becomes the new root with children
@@ -165,8 +267,9 @@ func (p *Problem) insert(v *PNode, s, pos int) *PNode {
 // ORIGINAL species indices (undoing the max–min permutation) and carrying
 // the original species names.
 func (v *PNode) Tree(p *Problem) *tree.Tree {
-	t := &tree.Tree{Nodes: make([]tree.Node, len(v.species)), Root: int(v.root)}
-	for i := range v.species {
+	nn := 2*v.K - 1
+	t := &tree.Tree{Nodes: make([]tree.Node, nn), Root: int(v.root)}
+	for i := 0; i < nn; i++ {
 		sp := int(v.species[i])
 		if sp >= 0 {
 			sp = p.perm[sp]

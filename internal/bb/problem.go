@@ -34,9 +34,12 @@ const MaxSpecies = 64
 // Problem is an immutable MUT search instance: the (already relabeled)
 // distance matrix plus the precomputed lower-bound tail sums.
 type Problem struct {
-	n    int
-	d    [][]float64 // permuted distances
-	perm []int       // perm[new] = old species index
+	n int
+	// d holds the permuted distances row-major with stride n, so the hot
+	// maxDistToMask scan walks one contiguous row instead of chasing a
+	// per-row pointer.
+	d    []float64
+	perm []int // perm[new] = old species index
 	// tail[k] = ½ Σ_{i=k..n-1} min_{j<i} d[i][j]: the minimum extra weight
 	// any completion of a k-leaf partial topology must add.
 	tail  []float64
@@ -66,11 +69,10 @@ func NewProblem(m *matrix.Matrix, useMaxMin bool) (*Problem, error) {
 		perm = m.MaxMinPermutation()
 	}
 	pm := m.Relabel(perm)
-	d := make([][]float64, n)
-	for i := range d {
-		d[i] = make([]float64, n)
+	d := make([]float64, n*n)
+	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			d[i][j] = pm.At(i, j)
+			d[i*n+j] = pm.At(i, j)
 		}
 	}
 	p := &Problem{n: n, d: d, perm: perm, names: m.Names()}
@@ -78,8 +80,8 @@ func NewProblem(m *matrix.Matrix, useMaxMin bool) (*Problem, error) {
 	for i := n - 1; i >= 2; i-- {
 		minD := math.Inf(1)
 		for j := 0; j < i; j++ {
-			if d[i][j] < minD {
-				minD = d[i][j]
+			if d[i*n+j] < minD {
+				minD = d[i*n+j]
 			}
 		}
 		p.tail[i] = p.tail[i+1] + minD/2
@@ -93,7 +95,10 @@ func NewProblem(m *matrix.Matrix, useMaxMin bool) (*Problem, error) {
 func (p *Problem) N() int { return p.n }
 
 // Dist returns the distance between permuted species i and j.
-func (p *Problem) Dist(i, j int) float64 { return p.d[i][j] }
+func (p *Problem) Dist(i, j int) float64 { return p.dist(i, j) }
+
+// dist is the unexported row-major accessor the kernel inlines.
+func (p *Problem) dist(i, j int) float64 { return p.d[i*p.n+j] }
 
 // Perm returns the relabeling applied to the input matrix
 // (perm[new] = old).
@@ -117,12 +122,12 @@ func (p *Problem) InitialUpperBound() (*tree.Tree, float64) {
 type permView struct{ p *Problem }
 
 func (v permView) Len() int            { return v.p.n }
-func (v permView) At(i, j int) float64 { return v.p.d[i][j] }
+func (v permView) At(i, j int) float64 { return v.p.dist(i, j) }
 
 // maxDistToMask returns max_{j in mask} d[s][j], with the mask encoding
 // permuted species indices.
 func (p *Problem) maxDistToMask(s int, mask uint64) float64 {
-	row := p.d[s]
+	row := p.d[s*p.n : s*p.n+p.n]
 	var best float64
 	for mask != 0 {
 		j := bits.TrailingZeros64(mask)

@@ -17,8 +17,11 @@ type Options struct {
 	// always enables it; it is an option here so the ablation benchmarks
 	// can measure its effect.
 	UseMaxMin bool
-	// InitialUB overrides the UPGMM upper bound when positive. Used by the
-	// decomposition pipeline, which may already know a feasible cost.
+	// InitialUB overrides the UPGMM upper bound when positive and tighter.
+	// Used by the decomposition pipeline, which may already know a feasible
+	// cost. When it undercuts every solution (nothing strictly better is
+	// found), the result falls back to the UPGMM tree and its cost rather
+	// than reporting the unattained bound — see Result.
 	InitialUB float64
 	// NoInitialUB starts the search with an infinite upper bound instead
 	// of the UPGMM solution — the ablation measuring what Step 3 of BBU
@@ -79,8 +82,14 @@ func (s *Stats) Add(other Stats) {
 }
 
 // Result is the outcome of a solve.
+//
+// Tree is nil only when no feasible tree is known at all: Options.NoInitialUB
+// suppressed the UPGMM seed and the (possibly truncated) search found no
+// complete topology. When Options.InitialUB undercuts every solution the
+// search can find, the UPGMM tree is returned as the incumbent with Cost set
+// to ITS cost, so Tree and Cost always agree when Tree is non-nil.
 type Result struct {
-	Tree    *tree.Tree   // one minimum ultrametric tree
+	Tree    *tree.Tree   // one minimum ultrametric tree (see nil contract above)
 	Trees   []*tree.Tree // all optima when Options.CollectAll
 	Cost    float64      // ω of Tree
 	Optimal bool         // false only when MaxNodes cut the search short
@@ -105,24 +114,36 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 	if opt.Probe != nil {
 		opt.Probe.Emit(obs.Event{Kind: obs.ProblemStart, Worker: obs.MasterWorker, N: p.n})
 	}
-	ubTree, ub := p.InitialUpperBound()
+	ubTree, ubCost := p.InitialUpperBound()
+	ub := ubCost
 	if opt.NoInitialUB {
 		ub, ubTree = math.Inf(1), nil
 	}
-	if opt.InitialUB > 0 && opt.InitialUB < ub {
+	external := opt.InitialUB > 0 && opt.InitialUB < ub
+	if external {
+		// Search against the tighter externally supplied bound, keeping
+		// the UPGMM tree around as the feasible fallback incumbent.
 		ub = opt.InitialUB
-		ubTree = nil
 	}
 	if opt.Probe != nil && !math.IsInf(ub, 1) {
 		opt.Probe.Emit(obs.Event{Kind: obs.SeedBound, Worker: obs.MasterWorker,
 			Value: ub, Elapsed: time.Since(start)})
 	}
-	res.Tree, res.Cost = ubTree, ub
-	if opt.CollectAll && ubTree != nil {
-		res.Trees = []*tree.Tree{ubTree}
+	if external {
+		res.Tree, res.Cost = nil, ub
+	} else {
+		res.Tree, res.Cost = ubTree, ub
+		if opt.CollectAll && ubTree != nil {
+			res.Trees = []*tree.Tree{ubTree}
+		}
 	}
 	res.Optimal = true
 	defer func() {
+		if res.Tree == nil && ubTree != nil {
+			// Nothing beat the external bound: report the feasible UPGMM
+			// incumbent so Tree and Cost agree (see Result).
+			res.Tree, res.Cost = ubTree, ubCost
+		}
 		if opt.Probe != nil {
 			opt.Probe.Emit(obs.Event{Kind: obs.ProblemFinish, Worker: obs.MasterWorker,
 				Value: res.Cost, Nodes: res.Stats.Expanded, Elapsed: time.Since(start)})
@@ -134,6 +155,7 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 	// either re-poll the context every iteration (Expanded%1024 stuck at
 	// 0) or never poll it again (stuck at a non-zero residue).
 	var iter int64
+	np := p.NewPool()
 	stack := []*PNode{p.Root()}
 	for len(stack) > 0 {
 		if len(stack) > res.Stats.MaxPoolLen {
@@ -152,6 +174,7 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 		}
 		if prune(v.LB, ub, opt.CollectAll) {
 			res.Stats.PrunedLB++
+			np.Put(v)
 			continue
 		}
 		if opt.MaxNodes > 0 && res.Stats.Expanded >= opt.MaxNodes {
@@ -159,18 +182,22 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 			break
 		}
 		res.Stats.Expanded++
-		children := p.Expand(v, opt.Constraints)
-		res.Stats.Generated += int64(len(children))
+		children, pruned := p.Expand(v, opt.Constraints, ub, opt.CollectAll, np)
+		res.Stats.Generated += int64(len(children)) + pruned
+		res.Stats.PrunedLB += pruned
+		np.Put(v)
 		// Children arrive sorted by ascending LB; push in reverse so the
 		// most promising child is popped first.
 		for i := len(children) - 1; i >= 0; i-- {
 			ch := children[i]
 			if prune(ch.LB, ub, opt.CollectAll) {
 				res.Stats.PrunedLB++
+				np.Put(ch)
 				continue
 			}
 			if ch.Complete(p) {
 				ub = p.recordSolution(ch, ub, opt, res, start)
+				np.Put(ch)
 				continue
 			}
 			stack = append(stack, ch)
@@ -244,7 +271,7 @@ func BruteForce(m *matrix.Matrix) (*tree.Tree, float64, error) {
 		}
 		s := v.K
 		for pos := 0; pos < v.Positions(); pos++ {
-			rec(p.insert(v, s, pos))
+			rec(p.insert(v, s, pos, nil))
 		}
 	}
 	rec(p.Root())

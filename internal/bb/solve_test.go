@@ -148,7 +148,8 @@ func TestLowerBoundIsValid(t *testing.T) {
 				return v.Cost
 			}
 			best := math.Inf(1)
-			for _, ch := range p.Expand(v, Constraints{}) {
+			children, _ := p.Expand(v, Constraints{}, math.Inf(1), false, nil)
+			for _, ch := range children {
 				if c := rec(ch); c < best {
 					best = c
 				}
@@ -263,7 +264,7 @@ func TestExpandChildCountsAndOrdering(t *testing.T) {
 	}
 	v := p.Root()
 	for !v.Complete(p) {
-		children := p.Expand(v, Constraints{})
+		children, _ := p.Expand(v, Constraints{}, math.Inf(1), false, nil)
 		if len(children) != v.Positions() {
 			t.Fatalf("K=%d: %d children, want %d", v.K, len(children), v.Positions())
 		}
@@ -302,7 +303,7 @@ func TestPartialCostsMatchTreeMaterialization(t *testing.T) {
 		}
 		v := p.Root()
 		for !v.Complete(p) {
-			children := p.Expand(v, Constraints{})
+			children, _ := p.Expand(v, Constraints{}, math.Inf(1), false, nil)
 			v = children[r.Intn(len(children))]
 			tt := v.Tree(p)
 			perm := p.Perm()

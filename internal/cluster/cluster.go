@@ -183,7 +183,8 @@ func SimulateProblem(p *bb.Problem, cfg Config) *Result {
 			}
 			continue
 		}
-		for _, ch := range p.Expand(v, cfg.BB.Constraints) {
+		children, _ := p.Expand(v, cfg.BB.Constraints, best, false, nil)
+		for _, ch := range children {
 			switch {
 			case ch.LB >= best:
 				// pruned at generation time
@@ -303,7 +304,7 @@ func SimulateProblem(p *bb.Problem, cfg Config) *Result {
 			}
 			continue
 		}
-		children := p.Expand(v, cfg.BB.Constraints)
+		children, _ := p.Expand(v, cfg.BB.Constraints, ub, false, nil)
 		// Children arrive sorted ascending by LB; append in reverse so the
 		// most promising child sits at the tail (popped next by the DFS),
 		// matching the real engine's stack discipline.

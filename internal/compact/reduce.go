@@ -132,6 +132,12 @@ func Reduce(m *matrix.Matrix, h *Hierarchy, r Reduction) (*matrix.Matrix, []*Hie
 // needed, which keeps the tree valid (but possibly infeasible, as the
 // paper's cost comparison expects).
 func Graft(groupTree *tree.Tree, h *Hierarchy, subs []*tree.Tree) (*tree.Tree, error) {
+	if groupTree == nil {
+		// A solver may legitimately return a nil tree (see bb.Result's nil
+		// contract); fail with a diagnosable error instead of panicking on
+		// the first node access.
+		return nil, fmt.Errorf("compact: nil group tree for group %v", h.Members)
+	}
 	if len(subs) != len(h.Children) {
 		return nil, fmt.Errorf("compact: %d subtrees for %d children", len(subs), len(h.Children))
 	}

@@ -33,9 +33,12 @@ type Options struct {
 	// paper studies Maximum, the only rule that keeps the merged tree
 	// feasible.
 	Reduction compact.Reduction
-	// Workers is the number of parallel computing nodes for each
-	// branch-and-bound, and also the number of subproblems solved
-	// concurrently.
+	// Workers caps the total number of search goroutines across the whole
+	// pipeline. Concurrent subproblems share this budget through a weighted
+	// semaphore: each sequential solve costs one unit, each parallel solve
+	// costs one unit per pbb worker it is granted (at least one, at most
+	// Workers), so machine load never exceeds Workers no matter how many
+	// hierarchy nodes are solvable at once.
 	Workers int
 	// BB carries the branch-and-bound options (max–min, 3-3, MaxNodes...).
 	BB bb.Options
@@ -137,8 +140,13 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 
 	// Solve the internal hierarchy nodes bottom-up. Independent nodes run
 	// concurrently, bounded by opt.Workers — the "constructing evolutionary
-	// tree in parallel" of the paper's title.
-	sem := make(chan struct{}, opt.Workers)
+	// tree in parallel" of the paper's title. The semaphore is weighted in
+	// search-goroutine units: a sequential solve costs one unit and a
+	// parallel solve costs one unit per pbb worker it actually runs, so the
+	// total number of search goroutines never exceeds opt.Workers. (The seed
+	// implementation accounted one unit per subproblem while each parallel solve
+	// spawned opt.Workers goroutines of its own — Workers² at the worst.)
+	sem := newWorkerSem(opt.Workers)
 	var mu sync.Mutex // guards res.Subproblems, res.Stats, firstErr
 	var firstErr error
 
@@ -184,21 +192,24 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 		case small.Len() == 1:
 			groupTree = tree.New(0)
 		case small.Len() >= threshold && opt.Workers > 1:
-			// Big subproblem: the parallel engine, as in the paper.
-			sem <- struct{}{}
+			// Big subproblem: the parallel engine, as in the paper. It runs
+			// with as many workers as the semaphore can spare right now
+			// (at least one), so concurrent subproblems share the worker
+			// budget instead of multiplying it.
+			grant := sem.acquireUpTo(opt.Workers)
 			pres, err := pbb.Solve(small, pbb.Options{
-				Options: opt.BB, Workers: opt.Workers, InitialFanout: 2,
+				Options: opt.BB, Workers: grant, InitialFanout: 2,
 			})
-			<-sem
+			sem.release(grant)
 			if err != nil {
 				recordErr(&mu, &firstErr, err)
 				return nil
 			}
 			groupTree, cost, stats = pres.Tree, pres.Cost, pres.Stats
 		default:
-			sem <- struct{}{}
+			grant := sem.acquireUpTo(1)
 			sres, err := bb.Solve(small, opt.BB)
-			<-sem
+			sem.release(grant)
 			if err != nil {
 				recordErr(&mu, &firstErr, err)
 				return nil

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"evotree/internal/matrix"
+	"evotree/internal/obs"
+)
+
+func TestWorkerSemPartialGrantsAndFIFO(t *testing.T) {
+	s := newWorkerSem(4)
+	if got := s.acquireUpTo(3); got != 3 {
+		t.Fatalf("first acquire got %d, want 3", got)
+	}
+	// Only one unit left: a request for four must still proceed with one.
+	if got := s.acquireUpTo(4); got != 1 {
+		t.Fatalf("partial acquire got %d, want 1", got)
+	}
+	// Nothing left: the next acquire must block until a release.
+	done := make(chan int)
+	go func() { done <- s.acquireUpTo(2) }()
+	select {
+	case g := <-done:
+		t.Fatalf("acquire on empty semaphore returned %d early", g)
+	default:
+	}
+	s.release(3)
+	if got := <-done; got != 2 {
+		t.Fatalf("queued acquire got %d, want 2", got)
+	}
+	s.release(2)
+	s.release(1)
+	if got := s.acquireUpTo(4); got != 4 {
+		t.Fatalf("after full release got %d, want 4", got)
+	}
+}
+
+func TestWorkerSemNeverOversubscribes(t *testing.T) {
+	const units, goroutines = 3, 20
+	s := newWorkerSem(units)
+	var mu sync.Mutex
+	inUse, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := s.acquireUpTo(1 + i%units)
+			mu.Lock()
+			inUse += g
+			if inUse > peak {
+				peak = inUse
+			}
+			mu.Unlock()
+			runtime.Gosched()
+			mu.Lock()
+			inUse -= g
+			mu.Unlock()
+			s.release(g)
+		}(i)
+	}
+	wg.Wait()
+	if peak > units {
+		t.Fatalf("peak usage %d exceeds %d units", peak, units)
+	}
+}
+
+// TestSearchGoroutinesStayWithinWorkerBudget pins the scheduler fix: the
+// seed implementation charged the semaphore one unit per subproblem while
+// every parallel solve spawned Options.Workers goroutines of its own, so a
+// hierarchy with several concurrent subproblems ran up to Workers² search
+// goroutines. The probe counts concurrently live pbb workers; the gauge must
+// never exceed Options.Workers.
+func TestSearchGoroutinesStayWithinWorkerBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	var mu sync.Mutex
+	live, peak := 0, 0
+	probe := obs.ProbeFunc(func(ev obs.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch ev.Kind {
+		case obs.WorkerStart:
+			live++
+			if live > peak {
+				peak = live
+			}
+		case obs.WorkerFinish:
+			live--
+		}
+	})
+	const workers = 3
+	sawParallel := false
+	for trial := 0; trial < 6 && !sawParallel; trial++ {
+		m := matrix.PerturbedUltrametric(rng, 14, 100, 0.1)
+		opt := DefaultOptions(workers)
+		opt.ParallelThreshold = 2 // force every subproblem through pbb
+		opt.Probe = probe
+		res, err := Construct(m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Subproblems) > 1 {
+			sawParallel = true
+		}
+	}
+	if !sawParallel {
+		t.Skip("no multi-subproblem hierarchy across six seeds")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if peak > workers {
+		t.Fatalf("peak of %d concurrent search workers exceeds the budget of %d", peak, workers)
+	}
+	if live != 0 {
+		t.Fatalf("worker gauge did not return to zero: %d", live)
+	}
+}
+
+// TestConstructWithUnattainableInitialUB pins the end-to-end fallback: an
+// InitialUB below every subproblem optimum used to make the solvers return
+// nil trees, which crashed compact.Graft with a nil dereference. Now each
+// solve falls back to its UPGMM incumbent and the pipeline completes.
+func TestConstructWithUnattainableInitialUB(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 4; trial++ {
+		m := matrix.PerturbedUltrametric(rng, 9, 100, 0.1)
+		opt := DefaultOptions(2)
+		opt.BB.InitialUB = 1e-6 // positive but below any real tree cost
+		res, err := Construct(m, opt)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Tree == nil {
+			t.Fatalf("trial %d: nil tree", trial)
+		}
+		if err := res.Tree.Validate(1e-9); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := len(res.Tree.Leaves()); got != 9 {
+			t.Fatalf("trial %d: %d leaves, want 9", trial, got)
+		}
+	}
+}

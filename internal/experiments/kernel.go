@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"evotree/internal/bb"
+	"evotree/internal/matrix"
+	"evotree/internal/pbb"
+)
+
+// The kernel experiment measures the branch-and-bound search kernel itself
+// (ns/op, B/op, allocs/op for the sequential and the 4-worker parallel
+// engine) on the same deterministic instances as the go-test benchmarks in
+// internal/bb and internal/pbb, and compares against the recorded
+// pre-refactor baseline. With Config.BenchOut set it also writes the
+// machine-readable report checked in as BENCH_pr2.json.
+
+func init() { register("kernel", runKernel) }
+
+// benchNums is one benchmark measurement, mirroring go test -bench output.
+type benchNums struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// kernelBaseline is the seed implementation measured with the same
+// harness before the PR-2 allocation work (go1.24, linux/amd64,
+// Intel Xeon @ 2.10GHz; go test -bench on commit aafefb9). Keys match the
+// go-test benchmark names.
+var kernelBaseline = map[string]benchNums{
+	"BenchmarkSolveSequential/n=10": {NsPerOp: 97623, BytesPerOp: 142128, AllocsPerOp: 1550},
+	"BenchmarkSolveSequential/n=13": {NsPerOp: 7074792, BytesPerOp: 10895832, AllocsPerOp: 97150},
+	"BenchmarkSolveSequential/n=16": {NsPerOp: 21498633, BytesPerOp: 32617844, AllocsPerOp: 269115},
+	"BenchmarkSolveParallel/n=10":   {NsPerOp: 96240, BytesPerOp: 147298, AllocsPerOp: 1600},
+	"BenchmarkSolveParallel/n=13":   {NsPerOp: 7657114, BytesPerOp: 10903465, AllocsPerOp: 97225},
+	"BenchmarkSolveParallel/n=16":   {NsPerOp: 30399955, BytesPerOp: 43785119, AllocsPerOp: 357483},
+}
+
+// kernelEntry is one before/after row of the JSON report.
+type kernelEntry struct {
+	Name            string     `json:"name"`
+	OptimalCost     float64    `json:"optimal_cost"`
+	Before          *benchNums `json:"before,omitempty"`
+	After           benchNums  `json:"after"`
+	NsSpeedup       float64    `json:"ns_speedup,omitempty"`       // before.ns / after.ns
+	AllocsReduction float64    `json:"allocs_reduction,omitempty"` // 1 - after.allocs/before.allocs
+}
+
+// kernelReport is the schema of BENCH_pr2.json.
+type kernelReport struct {
+	Schema     string        `json:"schema"` // "evotree-kernel-bench/v1"
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GoVersion  string        `json:"goversion"`
+	Workers    int           `json:"parallel_workers"`
+	Benchmarks []kernelEntry `json:"benchmarks"`
+}
+
+// measureKernel times reps calls of fn and derives per-op numbers from the
+// runtime allocation counters — the same quantities go test -bench reports,
+// without the testing harness so the runner controls rep counts.
+func measureKernel(reps int, fn func()) benchNums {
+	fn() // warm-up (pools, code paths) outside the measured window
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return benchNums{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(reps),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(reps),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(reps),
+	}
+}
+
+func runKernel(cfg Config) (*Figure, error) {
+	sizes := []int{10, 13, 16}
+	reps := 5
+	if cfg.Quick {
+		sizes = []int{8, 10}
+		reps = 2
+	}
+	fig := &Figure{
+		ID:     "kernel",
+		Title:  "search-kernel microbenchmarks: pooled PNodes vs recorded baseline",
+		XLabel: "species",
+		YLabel: "ns/op and allocs/op (sequential and 4-worker parallel)",
+	}
+	report := kernelReport{
+		Schema:    "evotree-kernel-bench/v1",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		Workers:   4,
+	}
+	for _, n := range sizes {
+		// Seed 3 matches kernelMatrix in the internal/bb and internal/pbb
+		// benchmarks: structureless uniform distances, so the search does
+		// real branching work at every size.
+		m := matrix.Random0100(rand.New(rand.NewSource(3)), n)
+		p, err := bb.NewProblem(m, true)
+		if err != nil {
+			return nil, err
+		}
+		var seqCost float64
+		seq := measureKernel(reps, func() {
+			seqCost = p.SolveSequential(bb.DefaultOptions()).Cost
+		})
+		var parCost float64
+		par := measureKernel(reps, func() {
+			res, perr := pbb.Solve(m, pbb.DefaultOptions(report.Workers))
+			if perr != nil {
+				err = perr
+				return
+			}
+			parCost = res.Cost
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The refactor must not move the optimum: sequential and parallel
+		// engines agree bit-for-bit on these deterministic instances.
+		if seqCost != parCost {
+			return nil, fmt.Errorf("kernel: costs diverge at n=%d: sequential %v, parallel %v",
+				n, seqCost, parCost)
+		}
+		fig.X = append(fig.X, float64(n))
+		fig.AddPoint("seq ns/op", seq.NsPerOp)
+		fig.AddPoint("par ns/op", par.NsPerOp)
+		fig.AddPoint("seq allocs/op", seq.AllocsPerOp)
+		fig.AddPoint("par allocs/op", par.AllocsPerOp)
+		for _, e := range []kernelEntry{
+			{Name: fmt.Sprintf("BenchmarkSolveSequential/n=%d", n), After: seq, OptimalCost: seqCost},
+			{Name: fmt.Sprintf("BenchmarkSolveParallel/n=%d", n), After: par, OptimalCost: parCost},
+		} {
+			if base, ok := kernelBaseline[e.Name]; ok {
+				b := base
+				e.Before = &b
+				if e.After.NsPerOp > 0 {
+					e.NsSpeedup = b.NsPerOp / e.After.NsPerOp
+				}
+				if b.AllocsPerOp > 0 {
+					e.AllocsReduction = 1 - e.After.AllocsPerOp/b.AllocsPerOp
+				}
+				fig.Note("%s: %.2fx ns speedup, %.0f%% fewer allocs vs baseline",
+					e.Name, e.NsSpeedup, 100*e.AllocsReduction)
+			}
+			report.Benchmarks = append(report.Benchmarks, e)
+		}
+	}
+	if cfg.BenchOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.BenchOut, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fig.Note("report written to %s", cfg.BenchOut)
+	}
+	return fig, nil
+}

@@ -1,0 +1,39 @@
+package pbb
+
+import (
+	"math/rand"
+	"testing"
+
+	"evotree/internal/matrix"
+)
+
+// kernelMatrix mirrors internal/bb's benchmark instance so sequential and
+// parallel numbers in BENCH_pr2.json are measured on identical inputs.
+func kernelMatrix(n int) *matrix.Matrix {
+	rng := rand.New(rand.NewSource(3))
+	return matrix.Random0100(rng, n)
+}
+
+// BenchmarkSolveParallel measures the parallel engine (4 workers) on the
+// kernel benchmark instances: ns/op, B/op and allocs/op feed
+// BENCH_pr2.json.
+func BenchmarkSolveParallel(b *testing.B) {
+	for _, name := range []string{"n=10", "n=13", "n=16"} {
+		n := map[string]int{"n=10": 10, "n=13": 13, "n=16": 16}[name]
+		b.Run(name, func(b *testing.B) {
+			m := kernelMatrix(n)
+			opt := DefaultOptions(4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := Solve(m, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Tree == nil {
+					b.Fatal("nil tree")
+				}
+			}
+		})
+	}
+}

@@ -20,8 +20,10 @@
 package pbb
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,7 +34,11 @@ import (
 	"evotree/internal/tree"
 )
 
-// Options configure a parallel solve.
+// Options configure a parallel solve. The embedded bb.Options apply to the
+// whole search: MaxNodes is a shared expansion budget charged by the master
+// phase first and then split among the workers (never negatively), and Ctx
+// cancels the master's branching loop as well as every worker. Either
+// trigger returns the incumbent with Optimal=false.
 type Options struct {
 	bb.Options
 	// Workers is the number of computing nodes (goroutines). Zero or
@@ -85,48 +91,81 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 
 	inc := newIncumbent(opt.CollectAll)
 	inc.probe, inc.start = probe, start
-	ubTree, ub := p.InitialUpperBound()
+	ubTree, ubCost := p.InitialUpperBound()
+	ub := ubCost
 	if opt.NoInitialUB {
 		// Honor the ablation flag exactly like the sequential engine: the
 		// search starts from an infinite bound instead of the UPGMM seed.
 		ub, ubTree = math.Inf(1), nil
 	}
-	if opt.InitialUB > 0 && opt.InitialUB < ub {
-		ub, ubTree = opt.InitialUB, nil
+	external := opt.InitialUB > 0 && opt.InitialUB < ub
+	if external {
+		// Search against the tighter externally supplied bound, keeping
+		// the UPGMM tree around as the feasible fallback incumbent.
+		ub = opt.InitialUB
+		inc.seed(ub, nil)
+	} else {
+		inc.seed(ub, ubTree)
 	}
-	inc.seed(ub, ubTree)
 	if probe != nil && !math.IsInf(ub, 1) {
 		probe.Emit(obs.Event{Kind: obs.SeedBound, Worker: obs.MasterWorker,
 			Value: ub, Elapsed: time.Since(start)})
 	}
 
 	// Master phase: breadth-first branching until the frontier is large
-	// enough to feed every worker (Steps 1–5).
+	// enough to feed every worker (Steps 1–5). The master honors the
+	// shared expansion budget and the context exactly like the workers do:
+	// a small Options.MaxNodes must cap the whole search, not just the
+	// worker phase, and both trips force Optimal=false.
 	target := opt.InitialFanout * opt.Workers
 	frontier := []*bb.PNode{p.Root()}
+	mp := p.NewPool()
 	var masterStats bb.Stats
+	truncated := false
 	for len(frontier) > 0 && len(frontier) < target {
+		if opt.MaxNodes > 0 && masterStats.Expanded >= opt.MaxNodes {
+			truncated = true
+			break
+		}
+		if opt.Ctx != nil {
+			select {
+			case <-opt.Ctx.Done():
+				truncated = true
+			default:
+			}
+			if truncated {
+				break
+			}
+		}
 		// Expand the shallowest node first so the frontier stays level.
 		v := frontier[0]
 		frontier = frontier[1:]
 		if v.Complete(p) {
 			inc.offer(p, v, opt.CollectAll, &masterStats, obs.MasterWorker)
+			mp.Put(v)
 			continue
 		}
 		masterStats.Expanded++
-		children := p.Expand(v, opt.Constraints)
-		masterStats.Generated += int64(len(children))
+		children, pruned := p.Expand(v, opt.Constraints, inc.bound(), opt.CollectAll, mp)
+		masterStats.Generated += int64(len(children)) + pruned
+		masterStats.PrunedLB += pruned
+		mp.Put(v)
 		for _, ch := range children {
-			if ch.LB >= inc.bound() && !(opt.CollectAll && ch.LB == inc.bound()) {
+			if b := inc.bound(); ch.LB > b || (!opt.CollectAll && ch.LB == b) {
 				masterStats.PrunedLB++
+				mp.Put(ch)
 				continue
 			}
 			if ch.Complete(p) {
 				inc.offer(p, ch, opt.CollectAll, &masterStats, obs.MasterWorker)
+				mp.Put(ch)
 				continue
 			}
 			frontier = append(frontier, ch)
 		}
+	}
+	if truncated {
+		res.Optimal = false
 	}
 	res.MasterNodes = len(frontier)
 	sortByLB(frontier)
@@ -157,7 +196,14 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 	var budget *atomic.Int64
 	if opt.MaxNodes > 0 {
 		budget = &atomic.Int64{}
-		budget.Store(opt.MaxNodes - masterStats.Expanded)
+		// The master already consumed part of the budget; never seed the
+		// workers with a negative remainder (a truncated master phase leaves
+		// exactly zero, which makes every worker drain without expanding).
+		remaining := opt.MaxNodes - masterStats.Expanded
+		if remaining < 0 {
+			remaining = 0
+		}
+		budget.Store(remaining)
 	}
 	var wg sync.WaitGroup
 	cancelled := make([]bool, opt.Workers)
@@ -187,7 +233,9 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 	res.Stats.Solutions = inc.solutions
 	res.Stats.UBUpdates = inc.updates
 	if res.Tree == nil && ubTree != nil {
-		res.Tree = ubTree
+		// Nothing beat the external bound: report the feasible UPGMM
+		// incumbent with ITS cost so Tree and Cost agree (see bb.Result).
+		res.Tree, res.Cost = ubTree, ubCost
 	}
 	if probe != nil {
 		probe.Emit(obs.Event{Kind: obs.ProblemFinish, Worker: obs.MasterWorker,
@@ -229,74 +277,99 @@ func runWorker(p *bb.Problem, opt Options, gp *globalPool, inc *incumbent,
 		}
 		return cancelled
 	}
-	// The local pool is kept sorted by descending LB so the tail (popped
-	// by DFS) is the most promising node and the head (donated to the
-	// global pool) is the least promising one.
-	sortByLBDesc(local)
+	// Two-tier local state: pool is a min-heap of assigned subproblems (the
+	// paper's sorted local pool, heap-backed so refills and donations are
+	// O(log n)); stack is the DFS through the subproblem currently being
+	// searched, which bounds memory like the sequential engine. Nodes cycle
+	// through np, the worker-private free list.
+	np := p.NewPool()
+	pool := lbHeap(local)
+	heap.Init(&pool)
+	var stack []*bb.PNode
 	for {
-		if len(local) == 0 {
-			if probe != nil {
-				probe.Emit(obs.Event{Kind: obs.WorkerDrain, Worker: id,
-					Nodes: stats.Expanded, Elapsed: time.Since(start)})
+		if len(stack) == 0 {
+			if pool.Len() == 0 {
+				if probe != nil {
+					probe.Emit(obs.Event{Kind: obs.WorkerDrain, Worker: id,
+						Nodes: stats.Expanded, Elapsed: time.Since(start)})
+				}
+				v, ok := gp.get(id)
+				if !ok {
+					return cancelled
+				}
+				stack = append(stack, v)
+			} else {
+				stack = append(stack, heap.Pop(&pool).(*bb.PNode))
 			}
-			v, ok := gp.get(id)
-			if !ok {
-				return cancelled
-			}
-			local = append(local, v)
 		}
 		if done() {
 			// Drain without expanding so termination detection still
 			// reaches zero and every worker exits promptly.
-			gp.finish(len(local))
-			local = local[:0]
+			gp.finish(len(stack) + pool.Len())
+			stack = stack[:0]
+			pool = pool[:0]
 			continue
 		}
-		if len(local) > stats.MaxPoolLen {
-			stats.MaxPoolLen = len(local)
+		if held := len(stack) + pool.Len(); held > stats.MaxPoolLen {
+			stats.MaxPoolLen = held
 		}
-		v := local[len(local)-1]
-		local = local[:len(local)-1]
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 
 		ub := inc.bound()
 		if v.LB > ub || (!opt.CollectAll && v.LB == ub) {
 			stats.PrunedLB++
 			gp.finish(1)
+			np.Put(v)
 			continue
 		}
 		if v.Complete(p) {
 			inc.offer(p, v, opt.CollectAll, stats, id)
 			gp.finish(1)
+			np.Put(v)
 			continue
 		}
 		stats.Expanded++
 		if budget != nil {
 			budget.Add(-1)
 		}
-		children := p.Expand(v, opt.Constraints)
-		stats.Generated += int64(len(children))
+		children, pruned := p.Expand(v, opt.Constraints, inc.bound(), opt.CollectAll, np)
+		stats.Generated += int64(len(children)) + pruned
+		stats.PrunedLB += pruned
+		np.Put(v)
 		added := 0
+		// Children arrive sorted by ascending LB; push in reverse so the
+		// most promising child is popped first.
 		for i := len(children) - 1; i >= 0; i-- {
 			ch := children[i]
 			ub := inc.bound()
 			if ch.LB > ub || (!opt.CollectAll && ch.LB == ub) {
 				stats.PrunedLB++
+				np.Put(ch)
 				continue
 			}
 			if ch.Complete(p) {
 				inc.offer(p, ch, opt.CollectAll, stats, id)
+				np.Put(ch)
 				continue
 			}
-			local = append(local, ch)
+			stack = append(stack, ch)
 			added++
 		}
 		gp.addInFlight(added)
 		gp.finish(1)
 		// Two-level load balancing: when the global pool has run dry and
-		// we still hold spare work, donate our least promising node.
-		if added > 0 && gp.empty() && len(local) > 1 {
-			gp.put(local[0], id, obs.PoolDonate)
-			local = local[1:]
+		// we still hold spare work, donate our least promising node —
+		// preferably an untouched pooled subproblem, else the bottom of
+		// the DFS stack (the shallowest, highest-LB node we hold).
+		if added > 0 && gp.empty() {
+			switch {
+			case pool.Len() > 0:
+				gp.put(popWorst(&pool), id, obs.PoolDonate)
+			case len(stack) > 1:
+				gp.put(stack[0], id, obs.PoolDonate)
+				stack = append(stack[:0], stack[1:]...)
+			}
 		}
 	}
 }
@@ -385,7 +458,7 @@ func (c *incumbent) offer(p *bb.Problem, v *bb.PNode, collectAll bool, stats *bb
 type globalPool struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	items    []*bb.PNode
+	items    lbHeap // min-heap by LB: get pops the best node in O(log n)
 	inFlight int
 	done     bool
 	gets     int64
@@ -437,9 +510,9 @@ func (gp *globalPool) markDone() {
 // (obs.PoolPut) from a worker donation (obs.PoolDonate) in the telemetry.
 func (gp *globalPool) put(v *bb.PNode, worker int, kind obs.Kind) {
 	gp.mu.Lock()
-	gp.items = append(gp.items, v)
+	heap.Push(&gp.items, v)
 	gp.puts++
-	size := int64(len(gp.items))
+	size := int64(gp.items.Len())
 	gp.cond.Broadcast()
 	gp.mu.Unlock()
 	if gp.probe != nil {
@@ -449,27 +522,20 @@ func (gp *globalPool) put(v *bb.PNode, worker int, kind obs.Kind) {
 }
 
 // get blocks until a subproblem is available or the search has terminated.
+// It hands out the most promising pooled node (lowest LB) — the heap makes
+// this O(log n) where the seed implementation scanned the whole pool.
 func (gp *globalPool) get(worker int) (*bb.PNode, bool) {
 	gp.mu.Lock()
-	for len(gp.items) == 0 && !gp.done {
+	for gp.items.Len() == 0 && !gp.done {
 		gp.cond.Wait()
 	}
-	if len(gp.items) == 0 {
+	if gp.items.Len() == 0 {
 		gp.mu.Unlock()
 		return nil, false
 	}
-	// Hand out the most promising pooled node (lowest LB).
-	best := 0
-	for i, v := range gp.items {
-		if v.LB < gp.items[best].LB {
-			best = i
-		}
-	}
-	v := gp.items[best]
-	gp.items[best] = gp.items[len(gp.items)-1]
-	gp.items = gp.items[:len(gp.items)-1]
+	v := heap.Pop(&gp.items).(*bb.PNode)
 	gp.gets++
-	size := int64(len(gp.items))
+	size := int64(gp.items.Len())
 	gp.mu.Unlock()
 	if gp.probe != nil {
 		gp.probe.Emit(obs.Event{Kind: obs.PoolGet, Worker: worker,
@@ -480,27 +546,16 @@ func (gp *globalPool) get(worker int) (*bb.PNode, bool) {
 
 func (gp *globalPool) empty() bool {
 	gp.mu.Lock()
-	e := len(gp.items) == 0 && !gp.done
+	e := gp.items.Len() == 0 && !gp.done
 	gp.mu.Unlock()
 	return e
 }
 
 // ---- sorting helpers ----
 
+// sortByLB orders the master's frontier by ascending lower bound before the
+// cyclic dispatch (Step 6). Stable so equal-LB subproblems keep their
+// breadth-first discovery order.
 func sortByLB(nodes []*bb.PNode) {
-	insertionSortBy(nodes, func(a, b *bb.PNode) bool { return a.LB < b.LB })
-}
-
-func sortByLBDesc(nodes []*bb.PNode) {
-	insertionSortBy(nodes, func(a, b *bb.PNode) bool { return a.LB > b.LB })
-}
-
-// insertionSortBy keeps the dependency footprint minimal and is stable;
-// frontiers are small (a few times the worker count).
-func insertionSortBy(nodes []*bb.PNode, less func(a, b *bb.PNode) bool) {
-	for i := 1; i < len(nodes); i++ {
-		for j := i; j > 0 && less(nodes[j], nodes[j-1]); j-- {
-			nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
-		}
-	}
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].LB < nodes[j].LB })
 }
