@@ -1,0 +1,171 @@
+// Command evocheck is the cross-engine correctness harness: it generates
+// deterministic seeded distance matrices, solves each with every
+// configured engine, and checks the results against a brute-force oracle
+// (small n), engine consensus (larger n), a battery of structural
+// invariants (ultrametricity, feasibility, cost accounting, minimal
+// heights, compact-set clades), and optional metamorphic properties.
+//
+// Usage:
+//
+//	evocheck -n 4:9 -instances 200            # CI differential run
+//	evocheck -n 10:14 -instances 60           # beyond-oracle consensus band
+//	evocheck -engines bb,compact -meta        # focused, with metamorphic suite
+//	evocheck -soak 30s -n 4:12                # run until the clock expires
+//
+// Every failure line carries (kind, n, seed), so any reported instance
+// reproduces exactly with the same binary — no artifact files needed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"evotree/internal/verify"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "evocheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("evocheck", flag.ContinueOnError)
+	var (
+		nRange    = fs.String("n", "4:9", "species range lo:hi (inclusive)")
+		instances = fs.Int("instances", 50, "number of seeded instances")
+		seed      = fs.Int64("seed", 1, "base seed; instance i uses seed+i")
+		engineSpc = fs.String("engines", "", "comma-separated engines (default all: "+verify.DefaultEngineSpec+")")
+		oracleMax = fs.Int("oracle", 0, "max n checked against the DP oracle (0 = default 14)")
+		enumMax   = fs.Int("enum", 0, "max n cross-checked against the enumeration oracle (0 = default 8, -1 = off)")
+		ratio     = fs.Float64("ratio", 0, "max heuristic/optimal cost ratio (0 = default 1.5)")
+		maxNodes  = fs.Int64("maxnodes", 0, "per-engine search node budget (0 = unlimited)")
+		meta      = fs.Bool("meta", false, "also run the metamorphic property suite per instance")
+		soak      = fs.Duration("soak", 0, "repeat with fresh seeds until this duration elapses")
+		quiet     = fs.Bool("quiet", false, "suppress per-instance progress dots")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lo, hi, err := parseRange(*nRange)
+	if err != nil {
+		return err
+	}
+	engines, err := verify.ParseEngines(*engineSpc)
+	if err != nil {
+		return err
+	}
+	if *instances < 1 {
+		return fmt.Errorf("need at least 1 instance")
+	}
+
+	cfg := verify.Config{
+		Engines:   engines,
+		NLo:       lo,
+		NHi:       hi,
+		Instances: *instances,
+		Seed:      *seed,
+		Diff: verify.DiffConfig{
+			OracleMax:     *oracleMax,
+			EnumOracleMax: *enumMax,
+			MaxRatio:      *ratio,
+			MaxNodes:      *maxNodes,
+		},
+		Metamorphic: *meta,
+	}
+	if !*quiet {
+		cfg.Progress = progressPrinter(stdout)
+	}
+
+	start := time.Now()
+	total := verify.Summary{}
+	rounds := 0
+	for {
+		sum, err := verify.Run(cfg)
+		if err != nil {
+			return err
+		}
+		rounds++
+		total.Instances += sum.Instances
+		total.Truncated += sum.Truncated
+		total.OracleRuns += sum.OracleRuns
+		total.Metamorphic += sum.Metamorphic
+		total.Failed = append(total.Failed, sum.Failed...)
+		if *soak <= 0 || time.Since(start) >= *soak {
+			break
+		}
+		cfg.Seed += int64(cfg.Instances) // fresh seeds each soak round
+	}
+	if !*quiet {
+		fmt.Fprintln(stdout)
+	}
+
+	for _, bad := range total.Failed {
+		fmt.Fprintf(stdout, "FAIL %s\n", bad.Instance)
+		for _, f := range bad.Failures {
+			fmt.Fprintf(stdout, "  %s\n", f)
+		}
+		fmt.Fprintf(stdout, "  matrix:\n%s\n", indent(bad.Matrix, "    "))
+	}
+	if rounds > 1 {
+		fmt.Fprintf(stdout, "soak: %d rounds in %v\n", rounds, time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Fprintln(stdout, total.String())
+	if !total.OK() {
+		return fmt.Errorf("%d instances violated a property", len(total.Failed))
+	}
+	return nil
+}
+
+// parseRange parses "lo:hi" (or a single "n" meaning n:n).
+func parseRange(s string) (lo, hi int, err error) {
+	loStr, hiStr, found := strings.Cut(s, ":")
+	if !found {
+		hiStr = loStr
+	}
+	if lo, err = strconv.Atoi(strings.TrimSpace(loStr)); err != nil {
+		return 0, 0, fmt.Errorf("bad -n %q: %v", s, err)
+	}
+	if hi, err = strconv.Atoi(strings.TrimSpace(hiStr)); err != nil {
+		return 0, 0, fmt.Errorf("bad -n %q: %v", s, err)
+	}
+	if lo < 2 || hi < lo {
+		return 0, 0, fmt.Errorf("bad -n %q: want 2 <= lo <= hi", s)
+	}
+	return lo, hi, nil
+}
+
+// progressPrinter emits one character per instance: '.' pass, 'T' pass
+// with truncation, 'F' failure. Wraps every 80 instances.
+func progressPrinter(w io.Writer) func(verify.Instance, *verify.InstanceReport) {
+	count := 0
+	return func(inst verify.Instance, rep *verify.InstanceReport) {
+		ch := "."
+		switch {
+		case rep.Failed():
+			ch = "F"
+		case rep.Truncated:
+			ch = "T"
+		}
+		fmt.Fprint(w, ch)
+		count++
+		if count%80 == 0 {
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSmallBand(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "4:6", "-instances", "8", "-seed", "7", "-quiet"}, &out)
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "PASS: 8 instances (8 vs oracle") {
+		t.Errorf("unexpected summary:\n%s", out.String())
+	}
+}
+
+func TestRunEngineSubsetWithMeta(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "5", "-instances", "4", "-engines", "bb,pbb4", "-meta", "-quiet"}, &out)
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "4 metamorphic suites") {
+		t.Errorf("metamorphic count missing:\n%s", out.String())
+	}
+}
+
+func TestRunProgressDots(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-n", "4", "-instances", "3", "-engines", "bb"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "...") {
+		t.Errorf("want progress dots, got:\n%s", out.String())
+	}
+}
+
+func TestRunTruncation(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "12", "-instances", "2", "-engines", "bb,bestfirst",
+		"-maxnodes", "3", "-oracle", "2", "-quiet"}, &out)
+	if err != nil {
+		t.Fatalf("truncated run must not fail: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 truncated") {
+		t.Errorf("truncation not reported:\n%s", out.String())
+	}
+}
+
+func TestRunSoak(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-n", "4:5", "-instances", "2", "-engines", "bb",
+		"-soak", "100ms", "-quiet"}, &out)
+	if err != nil {
+		t.Fatalf("soak run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "soak:") {
+		t.Errorf("soak summary missing:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "9:4"},
+		{"-n", "1:5"},
+		{"-n", "x"},
+		{"-engines", "bb,unknown"},
+		{"-instances", "0"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	for _, tc := range []struct {
+		in     string
+		lo, hi int
+		ok     bool
+	}{
+		{"4:9", 4, 9, true},
+		{"7", 7, 7, true},
+		{" 5 : 6 ", 5, 6, true},
+		{"9:4", 0, 0, false},
+		{"", 0, 0, false},
+	} {
+		lo, hi, err := parseRange(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && (lo != tc.lo || hi != tc.hi)) {
+			t.Errorf("parseRange(%q) = %d, %d, %v", tc.in, lo, hi, err)
+		}
+	}
+}

@@ -20,7 +20,10 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
+	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -32,35 +35,57 @@ import (
 )
 
 func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		maxSpecies  = flag.Int("max-species", 32, "largest accepted input")
-		maxNodes    = flag.Int64("max-nodes", 500_000, "branch-and-bound node cap per request")
-		workers     = flag.Int("workers", 4, "parallel workers per construction")
-		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
-		quiet       = flag.Bool("no-access-log", false, "disable per-request access logging")
-		shutdownTmo = flag.Duration("shutdown-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
-	)
-	flag.Parse()
-
-	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
-	if *logJSON {
-		handler = slog.NewJSONHandler(os.Stderr, nil)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "evoweb:", err)
+		os.Exit(1)
 	}
-	logger := slog.New(handler)
+}
 
-	s := web.NewServer()
-	s.MaxSpecies = *maxSpecies
-	s.MaxNodes = *maxNodes
-	s.Workers = *workers
-	if !*quiet {
-		s.Logger = logger
+// config holds the parsed command line.
+type config struct {
+	addr        string
+	maxSpecies  int
+	maxNodes    int64
+	workers     int
+	pprofOn     bool
+	logJSON     bool
+	quiet       bool
+	shutdownTmo time.Duration
+}
+
+func parseFlags(args []string, stderr io.Writer) (config, error) {
+	fs := flag.NewFlagSet("evoweb", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.maxSpecies, "max-species", 32, "largest accepted input")
+	fs.Int64Var(&cfg.maxNodes, "max-nodes", 500_000, "branch-and-bound node cap per request")
+	fs.IntVar(&cfg.workers, "workers", 4, "parallel workers per construction")
+	fs.BoolVar(&cfg.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/")
+	fs.BoolVar(&cfg.logJSON, "log-json", false, "emit logs as JSON instead of text")
+	fs.BoolVar(&cfg.quiet, "no-access-log", false, "disable per-request access logging")
+	fs.DurationVar(&cfg.shutdownTmo, "shutdown-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
 	}
+	if cfg.maxSpecies < 2 {
+		return cfg, fmt.Errorf("-max-species must be at least 2")
+	}
+	if cfg.workers < 1 {
+		return cfg, fmt.Errorf("-workers must be at least 1")
+	}
+	return cfg, nil
+}
 
+// newMux assembles the full route table: the application handler plus the
+// opt-in pprof endpoints. Split out of run so tests can drive the exact
+// production routing without a listener.
+func newMux(s *web.Server, pprofOn bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/", s.Handler())
-	if *pprofOn {
+	if pprofOn {
 		// Registered explicitly rather than via the package's init on
 		// http.DefaultServeMux, so profiling stays opt-in.
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -68,38 +93,68 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// run starts the server and blocks until the listener fails or ctx is
+// cancelled, then shuts down gracefully. If ready is non-nil it receives
+// the bound address once the listener is up — tests pass -addr :0 and
+// read the real port from here.
+func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- string) error {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		return err
+	}
+
+	var handler slog.Handler = slog.NewTextHandler(stderr, nil)
+	if cfg.logJSON {
+		handler = slog.NewJSONHandler(stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	s := web.NewServer()
+	s.MaxSpecies = cfg.maxSpecies
+	s.MaxNodes = cfg.maxNodes
+	s.Workers = cfg.workers
+	if !cfg.quiet {
+		s.Logger = logger
+	}
+	if cfg.pprofOn {
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           mux,
+		Handler:           newMux(s, cfg.pprofOn),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      120 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
 
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("evoweb listening", "addr", *addr, "workers", *workers, "maxSpecies", *maxSpecies)
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Info("evoweb listening", "addr", ln.Addr().String(), "workers", cfg.workers, "maxSpecies", cfg.maxSpecies)
 
 	select {
 	case err := <-errc:
-		logger.Error("server failed", "err", err)
-		os.Exit(1)
+		return fmt.Errorf("server failed: %w", err)
 	case <-ctx.Done():
 	}
-	stop() // restore default signal behavior: a second signal kills immediately
 
-	logger.Info("shutting down", "inFlight", s.InFlight(), "grace", *shutdownTmo)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownTmo)
+	logger.Info("shutting down", "inFlight", s.InFlight(), "grace", cfg.shutdownTmo)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTmo)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		logger.Error("shutdown incomplete", "err", err, "inFlight", s.InFlight())
-		os.Exit(1)
+		return fmt.Errorf("shutdown incomplete (inFlight=%d): %w", s.InFlight(), err)
 	}
 	logger.Info("shutdown complete", "inFlight", s.InFlight())
+	return nil
 }

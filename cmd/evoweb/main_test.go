@@ -1,0 +1,145 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"evotree/internal/web"
+)
+
+// startServer runs the real entry point on an ephemeral port and returns
+// its base URL plus a cancel that triggers graceful shutdown.
+func startServer(t *testing.T, extraArgs ...string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-no-access-log"}, extraArgs...)
+	go func() { done <- run(ctx, args, io.Discard, ready) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("server exited before listening: %v", err)
+		return "", nil, nil
+	}
+}
+
+const goodMatrix = `{"matrix":"4\na 0 2 8 8\nb 2 0 8 8\nc 8 8 0 4\nd 8 8 4 0\n"}`
+
+func TestServeAndShutdown(t *testing.T) {
+	base, cancel, done := startServer(t)
+
+	resp, err := http.Post(base+"/api/tree", "application/json", strings.NewReader(goodMatrix))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /api/tree: %d\n%s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"cost"`) {
+		t.Errorf("response missing cost:\n%s", body)
+	}
+
+	// Metrics must render in Prometheus text format and count the build.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{"# TYPE", "evotree_searches_total"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%.400s", want, metrics)
+		}
+	}
+
+	// Graceful shutdown: cancel and the server must return nil promptly.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down within 5s")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	base, cancel, done := startServer(t, "-max-species", "6")
+	defer func() { cancel(); <-done }()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed json", `{"matrix": `, http.StatusBadRequest},
+		{"empty matrix", `{"matrix":""}`, http.StatusUnprocessableEntity},
+		{"garbage matrix", `{"matrix":"not a matrix"}`, http.StatusUnprocessableEntity},
+		{"asymmetric", `{"matrix":"2\na 0 1\nb 2 0\n"}`, http.StatusUnprocessableEntity},
+		{"too many species", `{"matrix":"7\na 0 1 1 1 1 1 1\nb 1 0 1 1 1 1 1\nc 1 1 0 1 1 1 1\nd 1 1 1 0 1 1 1\ne 1 1 1 1 0 1 1\nf 1 1 1 1 1 0 1\ng 1 1 1 1 1 1 0\n"}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(base+"/api/tree", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d\n%s", tc.name, resp.StatusCode, tc.want, body)
+		}
+	}
+
+	// Wrong method on the API path must not be a 200 or a 500.
+	resp, err := http.Get(base + "/api/tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+		t.Errorf("GET /api/tree: status %d, want 4xx", resp.StatusCode)
+	}
+}
+
+// TestPprofGating: /debug/pprof is a 404 unless -pprof is set.
+func TestPprofGating(t *testing.T) {
+	mux := newMux(web.NewServer(), false)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code == http.StatusOK {
+		t.Error("pprof reachable without -pprof")
+	}
+
+	mux = newMux(web.NewServer(), true)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof with -pprof: status %d", rec.Code)
+	}
+}
+
+func TestParseFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-max-species", "1"},
+		{"-workers", "0"},
+		{"-addr"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Cross-checks against the independent oracles in internal/verify. This
+// lives in an external test package so bb itself stays import-cycle-free:
+// verify imports bb, and bb_test imports verify.
+package bb_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"evotree/internal/bb"
+	"evotree/internal/verify"
+)
+
+// TestSolveMatchesOracle: every solver entry point must agree with the
+// subset-DP oracle, which shares no code with the branch-and-bound kernel.
+func TestSolveMatchesOracle(t *testing.T) {
+	seeds := 5
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, kind := range verify.Kinds {
+		for n := 3; n <= 8; n++ {
+			for s := 0; s < seeds; s++ {
+				m, err := verify.GenerateInstance(kind, n, int64(7000+100*n+s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, want, err := verify.OracleDP(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tol := verify.Tol(m)
+
+				for _, tc := range []struct {
+					name  string
+					solve func() (float64, error)
+				}{
+					{"Solve", func() (float64, error) {
+						r, err := bb.Solve(m, bb.DefaultOptions())
+						return r.Cost, err
+					}},
+					{"SolveBestFirst", func() (float64, error) {
+						p, err := bb.NewProblem(m, true)
+						if err != nil {
+							return 0, err
+						}
+						return p.SolveBestFirst(bb.DefaultOptions()).Cost, nil
+					}},
+					{"BruteForce", func() (float64, error) {
+						if n > 7 {
+							return want, nil // too slow beyond the small band
+						}
+						_, cost, err := bb.BruteForce(m)
+						return cost, err
+					}},
+				} {
+					got, err := tc.solve()
+					if err != nil {
+						t.Fatalf("%s %s n=%d seed=%d: %v", tc.name, kind, n, s, err)
+					}
+					if diff := got - want; diff > tol || diff < -tol {
+						t.Errorf("%s %s n=%d seed=%d: cost %g, oracle %g\n%s",
+							tc.name, kind, n, s, got, want, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestThreeThreeNeverBeatsOptimum: the 3-3 relation constraint is a
+// heuristic on arbitrary metrics — it may cut the optimum but its result
+// must never cost less than the true minimum.
+func TestThreeThreeNeverBeatsOptimum(t *testing.T) {
+	for s := int64(0); s < 12; s++ {
+		kind := verify.Kinds[int(s)%len(verify.Kinds)]
+		n := 5 + int(s)%4
+		m, err := verify.GenerateInstance(kind, n, 300+s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want, err := verify.OracleDP(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := bb.DefaultOptions()
+		opts.Constraints.ThreeThree = true
+		r, err := bb.Solve(m, opts)
+		if err != nil {
+			t.Fatalf("%s n=%d seed=%d: %v", kind, n, s, err)
+		}
+		if r.Cost < want-verify.Tol(m) {
+			t.Errorf("%s n=%d seed=%d: 3-3 result %g beats optimum %g\n%s",
+				kind, n, s, r.Cost, want, m)
+		}
+	}
+}
+
+// TestSolveTreeInvariants runs the full invariant battery on solver output
+// for a few larger instances past the oracle band used above.
+func TestSolveTreeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 4; i++ {
+		n := 10 + i
+		m, err := verify.GenerateInstance(verify.Kinds[i], n, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := bb.Solve(m, bb.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range verify.CheckTree(m, r.Tree, r.Cost) {
+			t.Errorf("n=%d kind=%s: %v", n, verify.Kinds[i], f)
+		}
+	}
+}

@@ -197,6 +197,52 @@ func (h *Hierarchy) String() string {
 	return "{" + strings.Join(parts, " ") + "}"
 }
 
+// CheckHierarchy verifies the structural invariants BuildHierarchy
+// promises: each internal node's children partition its members, members
+// are sorted and duplicate-free, leaves hold exactly one species, and
+// every node flagged Compact satisfies the compactness predicate on m.
+// The verification harness runs it against every decomposition.
+func CheckHierarchy(m *matrix.Matrix, h *Hierarchy) error {
+	if len(h.Members) == 0 {
+		return fmt.Errorf("compact: hierarchy node with no members")
+	}
+	for i := 1; i < len(h.Members); i++ {
+		if h.Members[i] <= h.Members[i-1] {
+			return fmt.Errorf("compact: members %v not sorted/unique", h.Members)
+		}
+	}
+	if h.Compact && !IsCompact(m, h.Members) {
+		return fmt.Errorf("compact: node %v flagged compact but fails the predicate", h.Members)
+	}
+	if h.IsLeaf() {
+		if len(h.Children) != 0 {
+			return fmt.Errorf("compact: leaf %v has children", h.Members)
+		}
+		return nil
+	}
+	seen := make(map[int]bool, len(h.Members))
+	for _, ch := range h.Children {
+		for _, v := range ch.Members {
+			if seen[v] {
+				return fmt.Errorf("compact: species %d in two children of %v", v, h.Members)
+			}
+			seen[v] = true
+		}
+		if err := CheckHierarchy(m, ch); err != nil {
+			return err
+		}
+	}
+	if len(seen) != len(h.Members) {
+		return fmt.Errorf("compact: children of %v cover %d of %d members", h.Members, len(seen), len(h.Members))
+	}
+	for _, v := range h.Members {
+		if !seen[v] {
+			return fmt.Errorf("compact: species %d of %v missing from children", v, h.Members)
+		}
+	}
+	return nil
+}
+
 // BuildHierarchy arranges the compact sets of m into their laminar tree.
 // The root covers all species even though V itself is not a detected set.
 func BuildHierarchy(m *matrix.Matrix) (*Hierarchy, []Set, error) {

@@ -80,6 +80,11 @@ type Result struct {
 	Subproblems []Subproblem  // one per internal hierarchy node (nil without decomposition)
 	Stats       bb.Stats      // aggregated search statistics
 	Elapsed     time.Duration // wall-clock construction time
+	// Optimal reports whether every underlying search ran to completion.
+	// False means a node budget or context cancelled at least one solve, so
+	// the tree may be worse than the method's true output (the verification
+	// harness skips cost-equality assertions in that case).
+	Optimal bool
 }
 
 // Construct builds an ultrametric tree for m according to opt.
@@ -111,13 +116,13 @@ func constructWhole(m *matrix.Matrix, opt Options) (*Result, error) {
 	if m.Len() == 1 {
 		t := tree.New(0)
 		t.SetNames(m.Names())
-		return &Result{Tree: t}, nil
+		return &Result{Tree: t, Optimal: true}, nil
 	}
 	pres, err := pbb.Solve(m, pbb.Options{Options: opt.BB, Workers: opt.Workers, InitialFanout: 2})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Tree: pres.Tree, Cost: pres.Cost, Stats: pres.Stats}, nil
+	return &Result{Tree: pres.Tree, Cost: pres.Cost, Stats: pres.Stats, Optimal: pres.Optimal}, nil
 }
 
 func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
@@ -135,7 +140,7 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 	}
 	emit(obs.Event{Kind: obs.PhaseEnd, Phase: "compact-detect",
 		N: len(sets), Elapsed: time.Since(detectStart)})
-	res := &Result{CompactSets: sets}
+	res := &Result{CompactSets: sets, Optimal: true}
 	var subID atomic.Int64 // telemetry ids for concurrently solved subproblems
 
 	// Solve the internal hierarchy nodes bottom-up. Independent nodes run
@@ -184,6 +189,7 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 		var groupTree *tree.Tree
 		var stats bb.Stats
 		var cost float64
+		optimal := true
 		threshold := opt.ParallelThreshold
 		if threshold <= 0 {
 			threshold = 12
@@ -206,6 +212,7 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 				return nil
 			}
 			groupTree, cost, stats = pres.Tree, pres.Cost, pres.Stats
+			optimal = pres.Optimal
 		default:
 			grant := sem.acquireUpTo(1)
 			sres, err := bb.Solve(small, opt.BB)
@@ -215,6 +222,7 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 				return nil
 			}
 			groupTree, cost, stats = sres.Tree, sres.Cost, sres.Stats
+			optimal = sres.Optimal
 		}
 		emit(obs.Event{Kind: obs.SubproblemFinish, Worker: id,
 			N: small.Len(), Value: cost, Elapsed: time.Since(solveStart)})
@@ -235,6 +243,9 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 			Cost:  cost,
 		})
 		res.Stats.Add(stats)
+		if !optimal {
+			res.Optimal = false
+		}
 		mu.Unlock()
 		return assembled
 	}
@@ -285,44 +296,11 @@ func CostGap(approx, exact float64) float64 {
 // first violated set.
 func RelationPreserved(t *tree.Tree, sets []compact.Set) error {
 	for _, s := range sets {
-		if err := cladeCheck(t, s); err != nil {
-			return err
+		if err := t.CladeCheck(s); err != nil {
+			return fmt.Errorf("core: compact set violated: %w", err)
 		}
 	}
 	return nil
-}
-
-func cladeCheck(t *tree.Tree, s compact.Set) error {
-	if len(s) < 2 {
-		return nil
-	}
-	in := make(map[int]bool, len(s))
-	for _, v := range s {
-		in[v] = true
-	}
-	// The LCA of all of s must contain no outside species: compute the
-	// LCA by folding, then inspect its leaf set.
-	lca := t.LCA(s[0], s[1])
-	for _, v := range s[2:] {
-		l2 := t.LCA(s[0], v)
-		if t.Nodes[l2].Height > t.Nodes[lca].Height {
-			lca = l2
-		}
-	}
-	for _, leaf := range leavesUnder(t, lca) {
-		if !in[leaf] {
-			return fmt.Errorf("core: compact set %v is not a clade: leaf %d intrudes", s, leaf)
-		}
-	}
-	return nil
-}
-
-func leavesUnder(t *tree.Tree, id int) []int {
-	n := t.Nodes[id]
-	if n.Species >= 0 {
-		return []int{n.Species}
-	}
-	return append(leavesUnder(t, n.Left), leavesUnder(t, n.Right)...)
 }
 
 // Exact solves the full matrix exactly (no decomposition) and returns the

@@ -1,0 +1,70 @@
+// Cross-checks the parallel solver against the independent oracles in
+// internal/verify, at several worker counts. External test package so pbb
+// itself stays import-cycle-free (verify imports pbb).
+package pbb_test
+
+import (
+	"testing"
+
+	"evotree/internal/pbb"
+	"evotree/internal/verify"
+)
+
+// TestParallelMatchesOracle: the parallel solver is exact regardless of
+// worker count or work-splitting nondeterminism.
+func TestParallelMatchesOracle(t *testing.T) {
+	workerSets := []int{1, 4, 8}
+	if testing.Short() {
+		workerSets = []int{4}
+	}
+	for _, workers := range workerSets {
+		for i, kind := range verify.Kinds {
+			n := 6 + i
+			for s := int64(0); s < 3; s++ {
+				m, err := verify.GenerateInstance(kind, n, 5000+s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, want, err := verify.OracleDP(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r, err := pbb.Solve(m, pbb.DefaultOptions(workers))
+				if err != nil {
+					t.Fatalf("w=%d %s n=%d seed=%d: %v", workers, kind, n, s, err)
+				}
+				tol := verify.Tol(m)
+				if diff := r.Cost - want; diff > tol || diff < -tol {
+					t.Errorf("w=%d %s n=%d seed=%d: cost %g, oracle %g\n%s",
+						workers, kind, n, s, r.Cost, want, m)
+				}
+				for _, f := range verify.CheckTree(m, r.Tree, r.Cost) {
+					t.Errorf("w=%d %s n=%d seed=%d: %v", workers, kind, n, s, f)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDeterministicCost: repeated runs on the same instance must
+// land on the same optimal cost even though the search order races.
+func TestParallelDeterministicCost(t *testing.T) {
+	m, err := verify.GenerateInstance("perturbed", 11, 321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := pbb.Solve(m, pbb.DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := verify.Tol(m)
+	for i := 0; i < 3; i++ {
+		r, err := pbb.Solve(m, pbb.DefaultOptions(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := r.Cost - first.Cost; diff > tol || diff < -tol {
+			t.Fatalf("run %d: cost %g differs from first run %g", i, r.Cost, first.Cost)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzNewickRoundTrip is generative: the fuzzer drives (n, seed) into a
+// random ultrametric tree builder, and the property is that rendering to
+// Newick and parsing back preserves the tree — same leaves, same pairwise
+// tree distances, same clades up to species relabeling. This complements
+// FuzzParseNewick, which throws arbitrary strings at the parser; here the
+// renderer itself is under test.
+func FuzzNewickRoundTrip(f *testing.F) {
+	f.Add(uint8(2), int64(0))
+	f.Add(uint8(5), int64(1))
+	f.Add(uint8(9), int64(42))
+	f.Add(uint8(16), int64(-7))
+	f.Fuzz(func(t *testing.T, n uint8, seed int64) {
+		leaves := 2 + int(n)%15 // 2..16 species
+		orig := randomUltraTree(rand.New(rand.NewSource(seed)), leaves)
+
+		parsed, err := ParseNewick(orig.Newick(), 1e-6)
+		if err != nil {
+			t.Fatalf("own rendering rejected: %v\nnewick: %s", err, orig.Newick())
+		}
+		if parsed.LeafCount() != leaves {
+			t.Fatalf("leaf count %d, want %d", parsed.LeafCount(), leaves)
+		}
+
+		// ParseNewick assigns species indices by first appearance, so map
+		// the parsed tree back through names ("S1".. for unnamed trees).
+		toParsed := make([]int, leaves)
+		for s := 0; s < leaves; s++ {
+			toParsed[s] = -1
+			for ps := 0; ps < leaves; ps++ {
+				if parsed.SpeciesName(ps) == orig.SpeciesName(s) {
+					toParsed[s] = ps
+				}
+			}
+			if toParsed[s] < 0 {
+				t.Fatalf("species %q lost in round trip", orig.SpeciesName(s))
+			}
+		}
+
+		// Heights survive only through branch-length differences, so 1e-6
+		// of slack per path is the honest bound for %g rendering.
+		for i := 0; i < leaves; i++ {
+			for j := i + 1; j < leaves; j++ {
+				want := orig.Dist(i, j)
+				got := parsed.Dist(toParsed[i], toParsed[j])
+				if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+					t.Fatalf("dist(%d,%d) = %g, want %g\nnewick: %s",
+						i, j, got, want, orig.Newick())
+				}
+			}
+		}
+
+		// Topology: identical clade sets after relabeling.
+		want := orig.CladeSet()
+		got := make(map[string]bool)
+		for clade := range relabelClades(parsed, toParsed) {
+			got[clade] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("clade count %d, want %d\nnewick: %s", len(got), len(want), orig.Newick())
+		}
+		for c := range want {
+			if !got[c] {
+				t.Fatalf("clade %s lost in round trip\nnewick: %s", c, orig.Newick())
+			}
+		}
+	})
+}
+
+// relabelClades returns parsed's clades re-keyed in orig's species
+// numbering, where toParsed maps orig species -> parsed species.
+func relabelClades(parsed *Tree, toParsed []int) map[string]bool {
+	fromParsed := make([]int, len(toParsed))
+	for o, p := range toParsed {
+		fromParsed[p] = o
+	}
+	out := make(map[string]bool)
+	total := parsed.LeafCount()
+	var walk func(id int) []int
+	walk = func(id int) []int {
+		n := &parsed.Nodes[id]
+		if n.Species >= 0 {
+			return []int{fromParsed[n.Species]}
+		}
+		leaves := append(walk(n.Left), walk(n.Right)...)
+		if len(leaves) > 1 && len(leaves) < total {
+			out[cladeKey(leaves)] = true
+		}
+		return leaves
+	}
+	walk(parsed.Root)
+	return out
+}

@@ -1,0 +1,105 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDifferentialSmall runs the full engine set against the oracle over
+// seeded instances in the oracle band (n ≤ 9) — a scaled-down version of
+// the CI evocheck run.
+func TestDifferentialSmall(t *testing.T) {
+	instances := 24
+	if testing.Short() {
+		instances = 8
+	}
+	sum, err := Run(Config{
+		NLo: 4, NHi: 9,
+		Instances: instances,
+		Seed:      20250806,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportSummary(t, sum)
+	if sum.OracleRuns != sum.Instances {
+		t.Errorf("only %d of %d instances were checked against an oracle", sum.OracleRuns, sum.Instances)
+	}
+}
+
+// TestDifferentialCrossEngine exercises the band beyond the default
+// enumeration range, where the DP oracle and engine consensus carry the
+// check.
+func TestDifferentialCrossEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine band is slow in -short mode")
+	}
+	sum, err := Run(Config{
+		NLo: 10, NHi: 12,
+		Instances: 8,
+		Seed:      77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportSummary(t, sum)
+}
+
+// TestDifferentialTruncation: with a tiny node budget every engine must
+// report truncation rather than asserting bogus equality — and the trees
+// returned must still satisfy every invariant.
+func TestDifferentialTruncation(t *testing.T) {
+	engines, err := ParseEngines("bb,bestfirst,pbb4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := GenerateInstance("uniform", 12, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Differential(m, engines, DiffConfig{MaxNodes: 3, OracleMax: 2})
+	if !rep.Truncated {
+		t.Fatal("a 3-node budget on n=12 must truncate")
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("truncated run must stay invariant-clean, got %v", f)
+	}
+}
+
+// TestParseEngines covers the spec parser.
+func TestParseEngines(t *testing.T) {
+	all, err := ParseEngines("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(EngineNames()) {
+		t.Errorf("default spec resolves %d engines, registry has %d", len(all), len(EngineNames()))
+	}
+	if _, err := ParseEngines("bb,nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("want unknown-engine error, got %v", err)
+	}
+	if _, err := ParseEngines(" , "); err == nil {
+		t.Error("want error for empty list")
+	}
+	two, err := ParseEngines("compact, bb")
+	if err != nil || len(two) != 2 || !two[0].Decomposition || !two[1].Exact {
+		t.Errorf("spec with spaces misparsed: %v %v", two, err)
+	}
+}
+
+func reportSummary(t *testing.T, sum *Summary) {
+	t.Helper()
+	t.Log(sum)
+	for _, bad := range sum.Failed {
+		t.Errorf("%s:\n  %s\nmatrix:\n%s", bad.Instance,
+			failureLines(bad.Failures), bad.Matrix)
+	}
+}
+
+func failureLines(fails []Failure) string {
+	lines := make([]string, len(fails))
+	for i, f := range fails {
+		lines[i] = f.String()
+	}
+	return strings.Join(lines, "\n  ")
+}

@@ -1,0 +1,133 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"evotree/internal/bb"
+	"evotree/internal/compact"
+	"evotree/internal/core"
+	"evotree/internal/matrix"
+	"evotree/internal/pbb"
+)
+
+// Engine is one way of building a tree from a matrix, wrapped for the
+// differential harness.
+type Engine struct {
+	Name string
+	// Exact engines must return the optimal cost; heuristic engines must
+	// never beat it and must stay within the configured approximation
+	// ratio.
+	Exact bool
+	// Decomposition engines run the compact-set path; their output
+	// additionally gets the compact-sets-appear-as-clades check.
+	Decomposition bool
+	// Run builds the tree. maxNodes > 0 caps the search (Optimal reports
+	// false on truncation).
+	Run func(m *matrix.Matrix, maxNodes int64) (EngineResult, error)
+}
+
+// engineByName builds the registry lazily so each entry captures its own
+// configuration.
+func engineByName(name string) (Engine, error) {
+	bbOpt := func(maxNodes int64, threeThree bool) bb.Options {
+		o := bb.DefaultOptions()
+		o.MaxNodes = maxNodes
+		o.ThreeThree = threeThree
+		return o
+	}
+	switch name {
+	case "bb", "bb33":
+		tt := name == "bb33"
+		return Engine{Name: name, Exact: !tt, Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
+			res, err := bb.Solve(m, bbOpt(maxNodes, tt))
+			if err != nil {
+				return EngineResult{Name: name}, err
+			}
+			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
+		}}, nil
+	case "bestfirst":
+		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
+			p, err := bb.NewProblem(m, true)
+			if err != nil {
+				return EngineResult{Name: name}, err
+			}
+			res := p.SolveBestFirst(bbOpt(maxNodes, false))
+			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
+		}}, nil
+	case "pbb1", "pbb4", "pbb8":
+		workers := int(name[3] - '0')
+		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
+			opt := pbb.DefaultOptions(workers)
+			opt.MaxNodes = maxNodes
+			res, err := pbb.Solve(m, opt)
+			if err != nil {
+				return EngineResult{Name: name}, err
+			}
+			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
+		}}, nil
+	case "whole":
+		// The core pipeline with decomposition disabled — the paper's
+		// control condition; exact like the parallel engine it wraps.
+		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
+			opt := core.Options{Workers: 4, BB: bbOpt(maxNodes, false)}
+			res, err := core.Construct(m, opt)
+			if err != nil {
+				return EngineResult{Name: name}, err
+			}
+			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
+		}}, nil
+	case "compact", "compact33":
+		tt := name == "compact33"
+		return Engine{Name: name, Decomposition: true, Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
+			opt := core.Options{
+				UseCompactSets: true,
+				Reduction:      compact.Maximum,
+				Workers:        4,
+				BB:             bbOpt(maxNodes, tt),
+			}
+			res, err := core.Construct(m, opt)
+			if err != nil {
+				return EngineResult{Name: name}, err
+			}
+			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
+		}}, nil
+	}
+	return Engine{}, fmt.Errorf("verify: unknown engine %q (want one of %s)", name, strings.Join(EngineNames(), ","))
+}
+
+// EngineNames lists every registered engine name, sorted.
+func EngineNames() []string {
+	names := []string{"bb", "bb33", "bestfirst", "pbb1", "pbb4", "pbb8", "whole", "compact", "compact33"}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultEngineSpec is the engine list the harness and CI run: every
+// engine, exact and heuristic.
+const DefaultEngineSpec = "bb,bb33,bestfirst,pbb1,pbb4,pbb8,whole,compact,compact33"
+
+// ParseEngines resolves a comma-separated engine list ("" means the
+// default set).
+func ParseEngines(spec string) ([]Engine, error) {
+	if spec == "" {
+		spec = DefaultEngineSpec
+	}
+	var engines []Engine
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		e, err := engineByName(name)
+		if err != nil {
+			return nil, err
+		}
+		engines = append(engines, e)
+	}
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("verify: empty engine list %q", spec)
+	}
+	return engines, nil
+}

@@ -1,0 +1,152 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"evotree/internal/matrix"
+)
+
+// Kinds are the instance families the harness cycles through — the
+// workloads the paper evaluates plus the exactly-ultrametric best case.
+var Kinds = []string{"uniform", "metric", "perturbed", "ultrametric"}
+
+// GenerateInstance builds the deterministic matrix for (kind, n, seed).
+// The same triple always yields the same matrix, so a failure line from
+// CI or a soak run reproduces locally with no artifacts to ship around.
+func GenerateInstance(kind string, n int, seed int64) (*matrix.Matrix, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case "uniform":
+		return matrix.Random0100(rng, n), nil
+	case "metric":
+		return matrix.RandomMetric(rng, n, 50, 100), nil
+	case "perturbed":
+		return matrix.PerturbedUltrametric(rng, n, 100, 0.1), nil
+	case "ultrametric":
+		return matrix.RandomUltrametric(rng, n, 100), nil
+	}
+	return nil, fmt.Errorf("verify: unknown instance kind %q (want %s)", kind, strings.Join(Kinds, "|"))
+}
+
+// Config drives a harness run: Instances matrices with sizes cycling over
+// [NLo, NHi], kinds cycling over Kinds, seeded from Seed upward.
+type Config struct {
+	Engines   []Engine
+	NLo, NHi  int   // species-count range, inclusive
+	Instances int   // number of matrices
+	Seed      int64 // base seed; instance i uses Seed+i
+	Diff      DiffConfig
+	// Metamorphic additionally runs the metamorphic property suite on the
+	// first exact engine for every instance (3 extra solves each).
+	Metamorphic bool
+	// Progress, when non-nil, is called after each instance with its
+	// report (failed or not).
+	Progress func(inst Instance, rep *InstanceReport)
+}
+
+// Instance identifies one generated matrix.
+type Instance struct {
+	Index int
+	Kind  string
+	N     int
+	Seed  int64
+}
+
+func (in Instance) String() string {
+	return fmt.Sprintf("#%d kind=%s n=%d seed=%d", in.Index, in.Kind, in.N, in.Seed)
+}
+
+// FailedInstance pairs an instance with its violations, for the summary.
+type FailedInstance struct {
+	Instance Instance
+	Failures []Failure
+	Matrix   string // PHYLIP rendering, for direct reproduction
+}
+
+// Summary aggregates a harness run.
+type Summary struct {
+	Instances   int
+	Truncated   int // instances where some engine hit its node budget
+	OracleRuns  int // instances checked against an oracle
+	Metamorphic int // metamorphic suites run
+	Failed      []FailedInstance
+}
+
+// OK reports whether the run was violation-free.
+func (s *Summary) OK() bool { return len(s.Failed) == 0 }
+
+func (s *Summary) String() string {
+	status := "PASS"
+	if !s.OK() {
+		status = fmt.Sprintf("FAIL (%d bad instances)", len(s.Failed))
+	}
+	return fmt.Sprintf("%s: %d instances (%d vs oracle, %d truncated, %d metamorphic suites)",
+		status, s.Instances, s.OracleRuns, s.Truncated, s.Metamorphic)
+}
+
+// Run executes the harness: for each seeded instance, the differential
+// check across all configured engines, plus (optionally) the metamorphic
+// suite. It only returns an error for configuration problems; property
+// violations land in the summary.
+func Run(cfg Config) (*Summary, error) {
+	if len(cfg.Engines) == 0 {
+		var err error
+		cfg.Engines, err = ParseEngines("")
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.NLo < 2 || cfg.NHi < cfg.NLo {
+		return nil, fmt.Errorf("verify: bad species range [%d, %d]", cfg.NLo, cfg.NHi)
+	}
+	if cfg.Instances < 1 {
+		return nil, fmt.Errorf("verify: need at least 1 instance")
+	}
+	var exact *Engine
+	for i := range cfg.Engines {
+		if cfg.Engines[i].Exact {
+			exact = &cfg.Engines[i]
+			break
+		}
+	}
+	sum := &Summary{}
+	diffCfg := cfg.Diff.withDefaults()
+	for i := 0; i < cfg.Instances; i++ {
+		inst := Instance{
+			Index: i,
+			Kind:  Kinds[i%len(Kinds)],
+			N:     cfg.NLo + i%(cfg.NHi-cfg.NLo+1),
+			Seed:  cfg.Seed + int64(i),
+		}
+		m, err := GenerateInstance(inst.Kind, inst.N, inst.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rep := Differential(m, cfg.Engines, diffCfg)
+		if cfg.Metamorphic && exact != nil {
+			rng := rand.New(rand.NewSource(inst.Seed ^ 0x5eed))
+			rep.Failures = append(rep.Failures, Metamorphic(m, *exact, rng, diffCfg.MaxNodes)...)
+			sum.Metamorphic++
+		}
+		sum.Instances++
+		if rep.Truncated {
+			sum.Truncated++
+		}
+		if strings.HasPrefix(rep.RefSource, "oracle") {
+			sum.OracleRuns++
+		}
+		if rep.Failed() {
+			sum.Failed = append(sum.Failed, FailedInstance{
+				Instance: inst,
+				Failures: rep.Failures,
+				Matrix:   m.String(),
+			})
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(inst, rep)
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,97 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"evotree/internal/matrix"
+)
+
+// Metamorphic checks the metamorphic properties of an EXACT engine on m:
+// transformations of the input with a provable effect on the optimal cost.
+//
+//   - permutation: relabeling the species must not change the optimum
+//     (the MUT problem is label-free);
+//   - scaling: multiplying every distance by a power of two scales the
+//     optimum by exactly that factor (heights are distances halved and
+//     summed — scaling by 2^k is exact in binary floating point, so the
+//     comparison needs no extra slack);
+//   - duplicate: appending a species at distance zero from an existing one
+//     must not change the optimum — the copy attaches at a height-0 node,
+//     and restricting any feasible tree to the original leaves stays
+//     feasible while only shedding weight.
+//
+// Heuristic engines carry no such guarantees (tie-breaking may flip under
+// relabeling), so callers should pass exact engines only.
+func Metamorphic(m *matrix.Matrix, e Engine, rng *rand.Rand, maxNodes int64) []Failure {
+	var fails []Failure
+	fail := func(prop, format string, args ...any) {
+		fails = append(fails, Failure{Engine: e.Name, Property: prop,
+			Detail: fmt.Sprintf(format, args...)})
+	}
+	base, err := e.Run(m, maxNodes)
+	if err != nil {
+		fail("run", "%v", err)
+		return fails
+	}
+	if !base.Optimal {
+		return fails // truncated searches prove nothing
+	}
+	tol := Tol(m)
+	n := m.Len()
+
+	// Property 1: leaf-permutation invariance.
+	perm := rng.Perm(n)
+	if res, err := e.Run(m.Relabel(perm), maxNodes); err != nil {
+		fail("permute", "relabeled solve failed: %v", err)
+	} else if res.Optimal && !costsAgree(res.Cost, base.Cost, tol) {
+		fail("permute", "optimum changed under relabeling %v: %g vs %g", perm, res.Cost, base.Cost)
+	}
+
+	// Property 2: uniform scaling by a power of two.
+	factor := []float64{0.5, 2, 4}[rng.Intn(3)]
+	if res, err := e.Run(scaleMatrix(m, factor), maxNodes); err != nil {
+		fail("scale", "scaled solve failed: %v", err)
+	} else if res.Optimal && !costsAgree(res.Cost, factor*base.Cost, factor*tol) {
+		fail("scale", "optimum scaled by %g went %g → %g, want %g",
+			factor, base.Cost, res.Cost, factor*base.Cost)
+	}
+
+	// Property 3: duplicating a species.
+	dup := rng.Intn(n)
+	if res, err := e.Run(duplicateSpecies(m, dup), maxNodes); err != nil {
+		fail("duplicate", "duplicated solve failed: %v", err)
+	} else if res.Optimal && !costsAgree(res.Cost, base.Cost, tol) {
+		fail("duplicate", "duplicating species %d changed the optimum: %g vs %g",
+			dup, res.Cost, base.Cost)
+	}
+	return fails
+}
+
+// scaleMatrix returns m with every distance multiplied by factor.
+func scaleMatrix(m *matrix.Matrix, factor float64) *matrix.Matrix {
+	n := m.Len()
+	out := matrix.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out.Set(i, j, factor*m.At(i, j))
+		}
+	}
+	return out
+}
+
+// duplicateSpecies returns an (n+1)-species matrix equal to m plus a copy
+// of species s at distance zero from it.
+func duplicateSpecies(m *matrix.Matrix, s int) *matrix.Matrix {
+	n := m.Len()
+	out := matrix.New(n + 1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out.Set(i, j, m.At(i, j))
+		}
+		if i != s {
+			out.Set(i, n, m.At(i, s))
+		}
+	}
+	return out
+}

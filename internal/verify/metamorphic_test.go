@@ -1,0 +1,103 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"evotree/internal/matrix"
+)
+
+// TestMetamorphicExactEngines runs the three metamorphic properties on
+// every exact engine over a spread of instances.
+func TestMetamorphicExactEngines(t *testing.T) {
+	engines, err := ParseEngines("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, e := range engines {
+		if !e.Exact {
+			continue
+		}
+		for i, kind := range Kinds {
+			for _, seed := range seeds {
+				m, err := GenerateInstance(kind, 5+i, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(seed * 31))
+				for _, f := range Metamorphic(m, e, rng, 0) {
+					t.Errorf("%s kind=%s seed=%d: %v\n%s", e.Name, kind, seed, f, m)
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicHelpers checks the two matrix transformations preserve
+// validity.
+func TestMetamorphicHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := matrix.Random0100(rng, 7)
+
+	s := scaleMatrix(m, 0.5)
+	if err := s.Check(); err != nil {
+		t.Fatalf("scaled matrix invalid: %v", err)
+	}
+	if !s.IsMetric() {
+		t.Fatal("scaling broke the triangle inequality")
+	}
+	if got, want := s.At(2, 5), m.At(2, 5)/2; got != want {
+		t.Fatalf("scale: At(2,5) = %g, want %g", got, want)
+	}
+
+	d := duplicateSpecies(m, 3)
+	if err := d.Check(); err != nil {
+		t.Fatalf("duplicated matrix invalid: %v", err)
+	}
+	if !d.IsMetric() {
+		t.Fatal("duplication broke the triangle inequality")
+	}
+	if d.Len() != m.Len()+1 {
+		t.Fatalf("duplicate: %d species, want %d", d.Len(), m.Len()+1)
+	}
+	if d.At(3, 7) != 0 {
+		t.Fatalf("duplicate not at distance 0: %g", d.At(3, 7))
+	}
+	for i := 0; i < m.Len(); i++ {
+		if i != 3 && d.At(i, 7) != m.At(i, 3) {
+			t.Fatalf("duplicate row differs at %d: %g vs %g", i, d.At(i, 7), m.At(i, 3))
+		}
+	}
+}
+
+// TestMetamorphicCatchesBrokenEngine: a deliberately wrong engine (cost
+// off by one) must trip the permutation/scale/duplicate properties — the
+// mutation-testing sanity check for the checker itself.
+func TestMetamorphicCatchesBrokenEngine(t *testing.T) {
+	good, err := engineByName("bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	broken := Engine{Name: "broken", Exact: true,
+		Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
+			res, err := good.Run(m, maxNodes)
+			calls++
+			if calls > 1 {
+				res.Cost += 1 // corrupt every run after the baseline
+			}
+			return res, err
+		}}
+	m, err := GenerateInstance("uniform", 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := Metamorphic(m, broken, rand.New(rand.NewSource(1)), 0)
+	if len(fails) == 0 {
+		t.Fatal("metamorphic suite accepted a corrupted engine")
+	}
+}

@@ -1,0 +1,308 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"evotree/internal/matrix"
+	"evotree/internal/tree"
+)
+
+// Oracle size limits. The enumeration oracle walks (2n−3)!! topologies
+// (2,027,025 at n = 9); the DP oracle runs in O(3ⁿ) time and O(2ⁿ) space
+// (43M partition steps at n = 16).
+const (
+	OracleEnumMax = 9
+	OracleDPMax   = 16
+)
+
+// OracleDP computes the exact minimum ultrametric tree cost of m — and one
+// optimal tree — by dynamic programming over leaf subsets.
+//
+// It rests on a property of minimal-height realizations: for any rooted
+// binary topology over a leaf set S, the minimal feasible root height is
+// H(S) = max_{i,j∈S} M[i,j]/2, independent of the topology's shape (proof
+// by induction on h(v) = max(cross-max/2, h_left, h_right)). The minimal
+// cost of a topology is therefore the sum of H over the leaf sets of its
+// internal nodes plus H(S) once more for the root-to-nowhere edge, and the
+// MUT cost satisfies
+//
+//	f({i})  = 0
+//	f(S)    = H(S) + min over bipartitions S = A ⊎ B of f(A) + f(B)
+//	ω(MUT)  = f(V) + H(V).
+//
+// This shares no code with the branch-and-bound kernel, so it serves as an
+// independent ground truth for it.
+func OracleDP(m *matrix.Matrix) (*tree.Tree, float64, error) {
+	n := m.Len()
+	if n < 2 {
+		return nil, 0, fmt.Errorf("verify: oracle needs at least 2 species, got %d", n)
+	}
+	if n > OracleDPMax {
+		return nil, 0, fmt.Errorf("verify: %d species exceeds the DP oracle limit %d", n, OracleDPMax)
+	}
+	if err := m.Check(); err != nil {
+		return nil, 0, err
+	}
+	size := 1 << uint(n)
+
+	// h[S] = max_{i,j ∈ S} M[i,j] / 2, by peeling the lowest set bit.
+	h := make([]float64, size)
+	for s := 3; s < size; s++ {
+		if bits.OnesCount(uint(s)) < 2 {
+			continue
+		}
+		i := bits.TrailingZeros(uint(s))
+		rest := s &^ (1 << uint(i))
+		best := h[rest]
+		for r := rest; r != 0; {
+			j := bits.TrailingZeros(uint(r))
+			r &^= 1 << uint(j)
+			if d := m.At(i, j); d/2 > best {
+				best = d / 2
+			}
+		}
+		h[s] = best
+	}
+
+	// f[S] and the optimal bipartition choice[S] (the A side).
+	f := make([]float64, size)
+	choice := make([]int, size)
+	for s := 1; s < size; s++ {
+		if bits.OnesCount(uint(s)) < 2 {
+			continue
+		}
+		lo := s & -s // canonical side: A always contains the lowest species
+		best, bestA := math.Inf(1), 0
+		// Enumerate submasks of s\lo and put lo into A, so each unordered
+		// bipartition is visited exactly once.
+		rest := s &^ lo
+		for sub := rest; ; sub = (sub - 1) & rest {
+			a := sub | lo
+			b := s &^ a
+			if b != 0 {
+				if v := f[a] + f[b]; v < best {
+					best, bestA = v, a
+				}
+			}
+			if sub == 0 {
+				break
+			}
+		}
+		f[s] = h[s] + best
+		choice[s] = bestA
+	}
+
+	full := size - 1
+	var build func(s int) *tree.Tree
+	build = func(s int) *tree.Tree {
+		if bits.OnesCount(uint(s)) == 1 {
+			return tree.New(bits.TrailingZeros(uint(s)))
+		}
+		a := choice[s]
+		return tree.Join(build(a), build(s&^a), h[s])
+	}
+	t := build(full)
+	t.SetNames(m.Names())
+	return t, f[full] + h[full], nil
+}
+
+// OracleEnum computes the exact MUT cost by the literal definition:
+// enumerate every rooted binary leaf-labeled topology over the species of
+// m, assign each its minimal ultrametric heights bottom-up, and take the
+// cheapest. Exponential — (2n−3)!! topologies — and deliberately naive: it
+// maintains no incremental state, so it also validates the kernel's
+// incremental height bookkeeping and OracleDP's height argument.
+func OracleEnum(m *matrix.Matrix) (*tree.Tree, float64, error) {
+	n := m.Len()
+	if n < 2 {
+		return nil, 0, fmt.Errorf("verify: oracle needs at least 2 species, got %d", n)
+	}
+	if n > OracleEnumMax {
+		return nil, 0, fmt.Errorf("verify: %d species exceeds the enumeration oracle limit %d", n, OracleEnumMax)
+	}
+	if err := m.Check(); err != nil {
+		return nil, 0, err
+	}
+
+	e := newEnumerator(m)
+	e.rec(2)
+	t := e.bestTree()
+	t.SetNames(m.Names())
+	return t, e.best, nil
+}
+
+// enumerator grows a topology species by species, trying every insertion
+// position, with explicit undo — plain ints, no heights or masks cached.
+type enumerator struct {
+	m       *matrix.Matrix
+	n       int
+	parent  []int
+	left    []int
+	right   []int
+	species []int
+	root    int
+	used    int // nodes in use
+
+	// Scratch for the from-scratch cost evaluation of complete topologies.
+	mask   []uint64
+	height []float64
+
+	best     float64
+	bestPath []int // insertion positions of the best topology
+	path     []int
+}
+
+func newEnumerator(m *matrix.Matrix) *enumerator {
+	n := m.Len()
+	maxN := 2*n - 1
+	e := &enumerator{
+		m: m, n: n,
+		parent:  make([]int, maxN),
+		left:    make([]int, maxN),
+		right:   make([]int, maxN),
+		species: make([]int, maxN),
+		mask:    make([]uint64, maxN),
+		height:  make([]float64, maxN),
+		best:    math.Inf(1),
+		path:    make([]int, 0, n),
+	}
+	e.reset()
+	return e
+}
+
+// reset installs the unique two-species topology: leaves 0, 1 under root 2.
+func (e *enumerator) reset() {
+	e.parent[0], e.parent[1], e.parent[2] = 2, 2, -1
+	e.left[0], e.left[1], e.left[2] = -1, -1, 0
+	e.right[0], e.right[1], e.right[2] = -1, -1, 1
+	e.species[0], e.species[1], e.species[2] = 0, 1, -1
+	e.root, e.used = 2, 3
+	e.path = e.path[:0]
+}
+
+// rec tries every insertion position for species k, k+1, ..., n−1.
+func (e *enumerator) rec(k int) {
+	if k == e.n {
+		if c := e.cost(); c < e.best {
+			e.best = c
+			e.bestPath = append(e.bestPath[:0], e.path...)
+		}
+		return
+	}
+	// Positions: the parent edge of every non-root node, plus above the
+	// root. Node ids 0..used-1 are all live.
+	for pos := 0; pos <= e.used; pos++ {
+		if pos < e.used && pos == e.root {
+			continue // the root has no parent edge; pos == used is "above root"
+		}
+		leaf, internal := e.insert(k, pos)
+		e.path = append(e.path, pos)
+		e.rec(k + 1)
+		e.path = e.path[:len(e.path)-1]
+		e.undo(leaf, internal, pos)
+	}
+}
+
+// insert adds species k as a new leaf at position pos (the parent edge of
+// node pos, or above the root when pos == used). Returns the two new node
+// ids for undo.
+func (e *enumerator) insert(k, pos int) (leaf, internal int) {
+	leaf, internal = e.used, e.used+1
+	e.used += 2
+	e.species[leaf], e.parent[leaf] = k, internal
+	e.left[leaf], e.right[leaf] = -1, -1
+	e.species[internal] = -1
+	if pos == leaf { // pos == old used: above the root
+		e.left[internal], e.right[internal] = e.root, leaf
+		e.parent[internal] = -1
+		e.parent[e.root] = internal
+		e.root = internal
+		return leaf, internal
+	}
+	par := e.parent[pos]
+	e.left[internal], e.right[internal] = pos, leaf
+	e.parent[internal] = par
+	e.parent[pos] = internal
+	if e.left[par] == pos {
+		e.left[par] = internal
+	} else {
+		e.right[par] = internal
+	}
+	return leaf, internal
+}
+
+// undo reverses insert(k, pos).
+func (e *enumerator) undo(leaf, internal, pos int) {
+	if pos == leaf { // was inserted above the root
+		old := e.left[internal]
+		e.parent[old] = -1
+		e.root = old
+	} else {
+		par := e.parent[internal]
+		e.parent[pos] = par
+		if e.left[par] == internal {
+			e.left[par] = pos
+		} else {
+			e.right[par] = pos
+		}
+	}
+	e.used -= 2
+}
+
+// cost computes the minimal ultrametric cost of the current (complete)
+// topology from scratch: h(v) = max(cross-pair max / 2, h_left, h_right).
+func (e *enumerator) cost() float64 {
+	total := 0.0
+	var walk func(id int) uint64
+	walk = func(id int) uint64 {
+		if e.species[id] >= 0 {
+			e.height[id] = 0
+			e.mask[id] = 1 << uint(e.species[id])
+			return e.mask[id]
+		}
+		lm := walk(e.left[id])
+		rm := walk(e.right[id])
+		h := math.Max(e.height[e.left[id]], e.height[e.right[id]])
+		for a := lm; a != 0; {
+			i := bits.TrailingZeros64(a)
+			a &= a - 1
+			for b := rm; b != 0; {
+				j := bits.TrailingZeros64(b)
+				b &= b - 1
+				if d := e.m.At(i, j); d/2 > h {
+					h = d / 2
+				}
+			}
+		}
+		e.height[id] = h
+		e.mask[id] = lm | rm
+		total += h
+		return e.mask[id]
+	}
+	walk(e.root)
+	return total + e.height[e.root]
+}
+
+// bestTree replays the recorded insertion path of the cheapest topology
+// and materializes it as a tree.Tree with minimal heights.
+func (e *enumerator) bestTree() *tree.Tree {
+	e.reset()
+	for i, pos := range e.bestPath {
+		e.insert(2+i, pos)
+	}
+	e.cost() // fills heights
+	t := &tree.Tree{Nodes: make([]tree.Node, e.used), Root: e.root}
+	for i := 0; i < e.used; i++ {
+		t.Nodes[i] = tree.Node{
+			Species: e.species[i],
+			Left:    e.left[i],
+			Right:   e.right[i],
+			Parent:  e.parent[i],
+			Height:  e.height[i],
+		}
+	}
+	e.reset()
+	return t
+}

@@ -1,0 +1,153 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"evotree/internal/bb"
+	"evotree/internal/matrix"
+)
+
+// TestOraclesAgree cross-checks the two independent oracles and the
+// branch-and-bound on random instances of every kind: three
+// implementations, three different algorithms, one optimum.
+func TestOraclesAgree(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, kind := range Kinds {
+		for n := 2; n <= 7; n++ {
+			for s := 0; s < seeds; s++ {
+				m, err := GenerateInstance(kind, n, int64(1000*n+s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				tol := Tol(m)
+				dt, dc, err := OracleDP(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				et, ec, err := OracleEnum(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !costsAgree(dc, ec, tol) {
+					t.Fatalf("%s n=%d seed=%d: DP %g vs enumeration %g\n%s", kind, n, s, dc, ec, m)
+				}
+				res, err := bb.Solve(m, bb.DefaultOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !costsAgree(res.Cost, dc, tol) {
+					t.Fatalf("%s n=%d seed=%d: bb %g vs oracle %g\n%s", kind, n, s, res.Cost, dc, m)
+				}
+				for _, f := range CheckTree(m, dt, dc) {
+					t.Fatalf("%s n=%d seed=%d: DP oracle tree: %v", kind, n, s, f)
+				}
+				for _, f := range CheckTree(m, et, ec) {
+					t.Fatalf("%s n=%d seed=%d: enum oracle tree: %v", kind, n, s, f)
+				}
+			}
+		}
+	}
+}
+
+// TestOracleKnownInstances pins the oracle on hand-checkable matrices.
+func TestOracleKnownInstances(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want float64
+	}{
+		{
+			// Two clean clusters: ((a,b):h=1, (c,d):h=2) under root h=4.
+			// ω = 1 + 2 + 4 (internal) + 4 (root edge) = 11.
+			name: "two-clusters",
+			src:  "4\na 0 2 8 8\nb 2 0 8 8\nc 8 8 0 4\nd 8 8 4 0\n",
+			want: 11,
+		},
+		{
+			// A perfectly ultrametric 3-species matrix: ((a,b):1, c):2.
+			// ω = 1 + 2 + 2 = 5.
+			name: "three-ultra",
+			src:  "3\na 0 2 4\nb 2 0 4\nc 4 4 0\n",
+			want: 5,
+		},
+		{
+			// Equilateral triangle, d = 6: any topology gives heights 3, 3.
+			// ω = 3 + 3 + 3 = 9.
+			name: "equilateral",
+			src:  "3\na 0 6 6\nb 6 0 6\nc 6 6 0\n",
+			want: 9,
+		},
+	}
+	for _, tc := range cases {
+		m, err := matrix.ParseString(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		_, dc, err := OracleDP(m)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if math.Abs(dc-tc.want) > 1e-9 {
+			t.Errorf("%s: OracleDP = %g, want %g", tc.name, dc, tc.want)
+		}
+		_, ec, err := OracleEnum(m)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if math.Abs(ec-tc.want) > 1e-9 {
+			t.Errorf("%s: OracleEnum = %g, want %g", tc.name, ec, tc.want)
+		}
+	}
+}
+
+// TestOracleLimits: both oracles reject out-of-range inputs cleanly.
+func TestOracleLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	big := matrix.RandomMetric(rng, OracleEnumMax+1, 50, 100)
+	if _, _, err := OracleEnum(big); err == nil {
+		t.Error("OracleEnum accepted an oversized matrix")
+	}
+	huge := matrix.RandomMetric(rng, OracleDPMax+1, 50, 100)
+	if _, _, err := OracleDP(huge); err == nil {
+		t.Error("OracleDP accepted an oversized matrix")
+	}
+	one := matrix.New(1)
+	if _, _, err := OracleDP(one); err == nil {
+		t.Error("OracleDP accepted a single-species matrix")
+	}
+}
+
+// TestOracleEnumCountsTopologies: the enumerator must visit exactly
+// (2n−3)!! complete topologies — the completeness property ground truth
+// rests on.
+func TestOracleEnumCountsTopologies(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		m := matrix.RandomUltrametric(rand.New(rand.NewSource(int64(n))), n, 10)
+		e := newEnumerator(m)
+		count := 0
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				count++
+				return
+			}
+			for pos := 0; pos <= e.used; pos++ {
+				if pos < e.used && pos == e.root {
+					continue
+				}
+				leaf, internal := e.insert(k, pos)
+				rec(k + 1)
+				e.undo(leaf, internal, pos)
+			}
+		}
+		rec(2)
+		if want := int(bb.CountTopologies(n)); count != want {
+			t.Errorf("n=%d: enumerated %d topologies, want %d", n, count, want)
+		}
+	}
+}
