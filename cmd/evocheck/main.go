@@ -42,6 +42,7 @@ func run(args []string, stdout io.Writer) error {
 		instances = fs.Int("instances", 50, "number of seeded instances")
 		seed      = fs.Int64("seed", 1, "base seed; instance i uses seed+i")
 		engineSpc = fs.String("engines", "", "comma-separated engines (default all: "+verify.DefaultEngineSpec+")")
+		workers   = fs.String("workers", "", "comma-separated worker counts; each adds a pbb<N> engine for the sweep (e.g. 2,4,16)")
 		oracleMax = fs.Int("oracle", 0, "max n checked against the DP oracle (0 = default 14)")
 		enumMax   = fs.Int("enum", 0, "max n cross-checked against the enumeration oracle (0 = default 8, -1 = off)")
 		ratio     = fs.Float64("ratio", 0, "max heuristic/optimal cost ratio (0 = default 1.5)")
@@ -61,6 +62,21 @@ func run(args []string, stdout io.Writer) error {
 	engines, err := verify.ParseEngines(*engineSpc)
 	if err != nil {
 		return err
+	}
+	if *workers != "" {
+		// Concurrency sweep: append one parallel engine per requested worker
+		// count, skipping counts the engine list already covers.
+		extra, err := workerEngineSpec(*workers, engines)
+		if err != nil {
+			return err
+		}
+		if extra != "" {
+			more, err := verify.ParseEngines(extra)
+			if err != nil {
+				return err
+			}
+			engines = append(engines, more...)
+		}
 	}
 	if *instances < 1 {
 		return fmt.Errorf("need at least 1 instance")
@@ -122,6 +138,31 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("%d instances violated a property", len(total.Failed))
 	}
 	return nil
+}
+
+// workerEngineSpec turns a comma-separated worker-count list into an engine
+// spec of pbb<N> names, dropping counts already present in engines.
+func workerEngineSpec(spec string, engines []verify.Engine) (string, error) {
+	have := make(map[string]bool, len(engines))
+	for _, e := range engines {
+		have[e.Name] = true
+	}
+	var names []string
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		w, err := strconv.Atoi(f)
+		if err != nil || w < 1 {
+			return "", fmt.Errorf("bad -workers entry %q: want a positive integer", f)
+		}
+		if name := verify.PBBEngineName(w); !have[name] {
+			have[name] = true
+			names = append(names, name)
+		}
+	}
+	return strings.Join(names, ","), nil
 }
 
 // parseRange parses "lo:hi" (or a single "n" meaning n:n).

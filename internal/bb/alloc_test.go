@@ -38,17 +38,19 @@ func TestExpandSteadyStateAllocations(t *testing.T) {
 
 // TestPrunedChildrenAllocateNothing guards the pre-clone bound check: when
 // the upper bound prunes every candidate, Expand must not allocate at all —
-// the bound is computed against the parent before any clone exists.
+// the bound is computed against the parent before any clone exists, and the
+// max-distance sweep reuses the pool's scratch slice once it is warm.
 func TestPrunedChildrenAllocateNothing(t *testing.T) {
 	p, err := NewProblem(kernelMatrix(12), true)
 	if err != nil {
 		t.Fatal(err)
 	}
+	np := p.NewPool()
 	v := p.Root()
 	// ub = v.LB: every child has LB ≥ parent LB, so all prune (collectAll
 	// off prunes lb == ub too).
 	allocs := testing.AllocsPerRun(200, func() {
-		children, pruned := p.Expand(v, Constraints{}, v.LB, false, nil)
+		children, pruned := p.Expand(v, Constraints{}, v.LB, false, np)
 		if len(children) != 0 {
 			t.Fatal("expected every child pruned")
 		}

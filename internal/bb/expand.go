@@ -39,16 +39,22 @@ func (p *Problem) Expand(v *PNode, c Constraints, ub float64, collectAll bool, n
 		allowed = p.thirdSpeciesPositions()
 	}
 	tail := p.tail[s+1]
+	// The max-distance table lives in the pool's scratch slice, so the
+	// pooled steady state allocates nothing (guarded by
+	// TestPrunedChildrenAllocateNothing); only the nil-pool path pays for a
+	// fresh slice.
+	md := np.mdScratch(positions)
+	p.maxDistSweep(v, s, md)
 	for pos := 0; pos < positions; pos++ {
 		if restricted && allowed[pos] == 0 {
 			continue
 		}
-		lb := p.childBound(v, s, pos) + tail
+		lb := p.childBound(v, s, pos, md) + tail
 		if lb > ub || (!collectAll && lb == ub) {
 			pruned++
 			continue
 		}
-		children = append(children, p.insert(v, s, pos, np))
+		children = append(children, p.insert(v, s, pos, np, md))
 	}
 	if c.ThreeThreeAll && s >= 2 && len(children) > 0 {
 		keep := 0
@@ -73,17 +79,49 @@ func (p *Problem) Expand(v *PNode, c Constraints, ub float64, collectAll bool, n
 			children = children[:w]
 		}
 	}
-	sortByLBAsc(children)
+	SortByLB(children)
 	return children, pruned
 }
 
-// sortByLBAsc insertion-sorts children by ascending LB. Child counts are
-// at most 2K−1 and the input is close to random, so the simple stable sort
-// beats sort.SliceStable here and allocates nothing.
-func sortByLBAsc(children []*PNode) {
+// SortByLB insertion-sorts nodes by ascending LB, stably and without
+// allocating. Expand's child counts are at most 2K−1 and close to random,
+// so the simple stable sort beats sort.SliceStable; the parallel master's
+// frontier is a concatenation of already-sorted child runs, so the same
+// insertion sort finishes it in near-linear time. Ascending order is the
+// steal-ordering contract: a worker pushing a sorted run worst-first keeps
+// its best node at the deque bottom and its worst at the stealable top.
+func SortByLB(children []*PNode) {
 	for i := 1; i < len(children); i++ {
 		for j := i; j > 0 && children[j].LB < children[j-1].LB; j-- {
 			children[j], children[j-1] = children[j-1], children[j]
+		}
+	}
+}
+
+// maxDistSweep fills md[x] = max_{j under x} d[s][j] for every node x of
+// v's partial topology — the quantity childBound and insert need for each
+// candidate position. One leaf-to-root bubbling pass replaces the per-
+// position maxDistToMask rescans that used to dominate the search kernel's
+// profile: each placed species walks its ancestor path, raising maxima, and
+// stops at the first ancestor already at or above its value (some leaf
+// below that ancestor carries a larger distance, and that leaf's own walk
+// covers the remaining ancestors). The early exit makes the sweep near
+// linear in K on typical instances and never worse than the single
+// childBound walk it amortizes. max is order-independent, so md is
+// bit-identical to the mask rescans it replaces — prune decisions do not
+// move.
+func (p *Problem) maxDistSweep(v *PNode, s int, md []float64) {
+	row := p.d[s*p.n : s*p.n+p.n]
+	for i := range md {
+		md[i] = -1
+	}
+	for sp := 0; sp < s; sp++ {
+		val := row[sp]
+		for x := v.leafID[sp]; x != -1; x = v.parent[x] {
+			if md[x] >= val {
+				break
+			}
+			md[x] = val
 		}
 	}
 }

@@ -78,6 +78,7 @@ func (c *PNode) copyFrom(v *PNode) {
 type NodePool struct {
 	n    int
 	free []*PNode
+	md   []float64 // Expand's per-species max-distance sweep scratch
 }
 
 // NewPool returns an empty free list for p's node size.
@@ -94,6 +95,19 @@ func (np *NodePool) get(n int) *PNode {
 	np.free[len(np.free)-1] = nil
 	np.free = np.free[:len(np.free)-1]
 	return v
+}
+
+// mdScratch returns a length-nn scratch slice for Expand's max-distance
+// sweep, reused across expansions so the steady state allocates nothing. A
+// nil pool allocates a fresh slice (the nil-pool slow path).
+func (np *NodePool) mdScratch(nn int) []float64 {
+	if np == nil {
+		return make([]float64, nn)
+	}
+	if cap(np.md) < nn {
+		np.md = make([]float64, nn)
+	}
+	return np.md[:nn]
 }
 
 // Put recycles a node the caller no longer references. Putting nil is a
@@ -135,11 +149,14 @@ func (v *PNode) Complete(p *Problem) bool { return v.K == p.n }
 // childBound computes the Cost a child of v would have after inserting
 // permuted species s at pos — the same arithmetic insert performs, but
 // read-only and without cloning, so children that prune against the upper
-// bound never allocate. pos has insert's meaning.
-func (p *Problem) childBound(v *PNode, s, pos int) float64 {
+// bound never allocate. pos has insert's meaning. md is the per-node
+// max-distance table for species s (see maxDistSweep): md[x] equals
+// maxDistToMask(s, v.mask[x]), precomputed once per expansion so the 2K−1
+// candidate positions share one sweep instead of rescanning leaf masks.
+func (p *Problem) childBound(v *PNode, s, pos int, md []float64) float64 {
 	if pos == 2*v.K-2 {
 		// Insert above the root.
-		h := p.maxDistToMask(s, v.mask[v.root]) / 2
+		h := md[v.root] / 2
 		if hr := v.height[v.root]; hr > h {
 			h = hr
 		}
@@ -152,7 +169,7 @@ func (p *Problem) childBound(v *PNode, s, pos int) float64 {
 	if e >= v.root {
 		e++ // the root has no parent edge
 	}
-	h := p.maxDistToMask(s, v.mask[e]) / 2
+	h := md[e] / 2
 	if v.height[e] > h {
 		h = v.height[e]
 	}
@@ -170,7 +187,7 @@ func (p *Problem) childBound(v *PNode, s, pos int) float64 {
 		if hc > hu {
 			hu = hc
 		}
-		if hx := p.maxDistToMask(s, v.mask[other]) / 2; hx > hu {
+		if hx := md[other] / 2; hx > hu {
 			hu = hx
 		}
 		sum += hu - v.height[u]
@@ -184,7 +201,9 @@ func (p *Problem) childBound(v *PNode, s, pos int) float64 {
 // pos selects the insertion position: pos in [0, 2K−2) indexes an edge (the
 // parent edge of node pos, skipping the root, in node-id order), and
 // pos == 2K−2 inserts above the root. The new node's Cost and LB are set.
-func (p *Problem) insert(v *PNode, s, pos int, np *NodePool) *PNode {
+// md is the same max-distance table childBound used; every lookup below
+// reads a node that predates the insertion, so v's table is valid for c.
+func (p *Problem) insert(v *PNode, s, pos int, np *NodePool, md []float64) *PNode {
 	c := np.get(p.n)
 	c.copyFrom(v)
 	sb := uint64(1) << uint(s)
@@ -202,7 +221,7 @@ func (p *Problem) insert(v *PNode, s, pos int, np *NodePool) *PNode {
 		// Insert above the root: in becomes the new root with children
 		// (old root, leaf).
 		old := c.root
-		h := p.maxDistToMask(s, c.mask[old]) / 2
+		h := md[old] / 2
 		if c.height[old] > h {
 			h = c.height[old]
 		}
@@ -220,7 +239,7 @@ func (p *Problem) insert(v *PNode, s, pos int, np *NodePool) *PNode {
 			e++ // the root has no parent edge
 		}
 		par := c.parent[e]
-		h := p.maxDistToMask(s, c.mask[e]) / 2
+		h := md[e] / 2
 		if c.height[e] > h {
 			h = c.height[e]
 		}
@@ -248,7 +267,7 @@ func (p *Problem) insert(v *PNode, s, pos int, np *NodePool) *PNode {
 			if hc := c.height[child]; hc > h {
 				h = hc
 			}
-			if hx := p.maxDistToMask(s, c.mask[other]) / 2; hx > h {
+			if hx := md[other] / 2; hx > h {
 				h = hx
 			}
 			c.sumInt += h - c.height[u]

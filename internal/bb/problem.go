@@ -19,7 +19,6 @@ package bb
 import (
 	"fmt"
 	"math"
-	"math/bits"
 
 	"evotree/internal/matrix"
 	"evotree/internal/tree"
@@ -36,7 +35,7 @@ const MaxSpecies = 64
 type Problem struct {
 	n int
 	// d holds the permuted distances row-major with stride n, so the hot
-	// maxDistToMask scan walks one contiguous row instead of chasing a
+	// maxDistSweep scan walks one contiguous row instead of chasing a
 	// per-row pointer.
 	d    []float64
 	perm []int // perm[new] = old species index
@@ -124,17 +123,3 @@ type permView struct{ p *Problem }
 func (v permView) Len() int            { return v.p.n }
 func (v permView) At(i, j int) float64 { return v.p.dist(i, j) }
 
-// maxDistToMask returns max_{j in mask} d[s][j], with the mask encoding
-// permuted species indices.
-func (p *Problem) maxDistToMask(s int, mask uint64) float64 {
-	row := p.d[s*p.n : s*p.n+p.n]
-	var best float64
-	for mask != 0 {
-		j := bits.TrailingZeros64(mask)
-		mask &= mask - 1
-		if row[j] > best {
-			best = row[j]
-		}
-	}
-	return best
-}

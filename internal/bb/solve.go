@@ -270,8 +270,10 @@ func BruteForce(m *matrix.Matrix) (*tree.Tree, float64, error) {
 			return
 		}
 		s := v.K
+		md := make([]float64, v.Positions())
+		p.maxDistSweep(v, s, md)
 		for pos := 0; pos < v.Positions(); pos++ {
-			rec(p.insert(v, s, pos, nil))
+			rec(p.insert(v, s, pos, nil, md))
 		}
 	}
 	rec(p.Root())

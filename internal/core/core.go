@@ -79,7 +79,11 @@ type Result struct {
 	CompactSets []compact.Set // detected non-trivial compact sets (nil without decomposition)
 	Subproblems []Subproblem  // one per internal hierarchy node (nil without decomposition)
 	Stats       bb.Stats      // aggregated search statistics
-	Elapsed     time.Duration // wall-clock construction time
+	// Sched aggregates the work-stealing scheduler traffic (steals, parks,
+	// overflow donations) of every parallel sub-solve in the pipeline; zero
+	// when only sequential solves ran.
+	Sched   pbb.SchedStats
+	Elapsed time.Duration // wall-clock construction time
 	// Optimal reports whether every underlying search ran to completion.
 	// False means a node budget or context cancelled at least one solve, so
 	// the tree may be worse than the method's true output (the verification
@@ -122,7 +126,8 @@ func constructWhole(m *matrix.Matrix, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Tree: pres.Tree, Cost: pres.Cost, Stats: pres.Stats, Optimal: pres.Optimal}, nil
+	return &Result{Tree: pres.Tree, Cost: pres.Cost, Stats: pres.Stats,
+		Sched: pres.Sched, Optimal: pres.Optimal}, nil
 }
 
 func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
@@ -188,6 +193,7 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 		solveStart := time.Now()
 		var groupTree *tree.Tree
 		var stats bb.Stats
+		var sched pbb.SchedStats
 		var cost float64
 		optimal := true
 		threshold := opt.ParallelThreshold
@@ -212,6 +218,7 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 				return nil
 			}
 			groupTree, cost, stats = pres.Tree, pres.Cost, pres.Stats
+			sched = pres.Sched
 			optimal = pres.Optimal
 		default:
 			grant := sem.acquireUpTo(1)
@@ -243,6 +250,7 @@ func constructDecomposed(m *matrix.Matrix, opt Options) (*Result, error) {
 			Cost:  cost,
 		})
 		res.Stats.Add(stats)
+		res.Sched.Add(sched)
 		if !optimal {
 			res.Optimal = false
 		}

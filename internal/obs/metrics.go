@@ -325,6 +325,8 @@ type SearchMetrics struct {
 	poolPuts    *Counter
 	poolDonates *Counter
 	drains      *Counter
+	steals      *Counter
+	parks       *Counter
 	subproblems *Counter
 	solveSec    *Histogram
 	subSec      *Histogram
@@ -342,6 +344,8 @@ func NewSearchMetrics(reg *Registry) *SearchMetrics {
 		poolPuts:    reg.Counter("evotree_pool_puts_total", "Subproblems preserved in the global pool by the master."),
 		poolDonates: reg.Counter("evotree_pool_donations_total", "Subproblems donated to an empty global pool."),
 		drains:      reg.Counter("evotree_worker_drains_total", "Times a worker's local pool ran dry."),
+		steals:      reg.Counter("evotree_steals_total", "Subproblems stolen from other workers' deques."),
+		parks:       reg.Counter("evotree_worker_parks_total", "Times a worker parked after an empty spin-and-steal round."),
 		subproblems: reg.Counter("evotree_subproblems_total", "Reduced matrices solved by the decomposition pipeline."),
 		solveSec:    reg.Histogram("evotree_search_seconds", "Wall-clock duration of one branch-and-bound search.", nil),
 		subSec:      reg.Histogram("evotree_subproblem_seconds", "Wall-clock duration of one decomposition subproblem solve.", nil),
@@ -369,6 +373,10 @@ func (m *SearchMetrics) Emit(ev Event) {
 		m.poolDonates.Inc()
 	case WorkerDrain:
 		m.drains.Inc()
+	case Steal:
+		m.steals.Add(ev.Nodes)
+	case Park:
+		m.parks.Inc()
 	case SubproblemFinish:
 		m.subproblems.Inc()
 		m.subSec.Observe(ev.Elapsed.Seconds())

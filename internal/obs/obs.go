@@ -58,6 +58,14 @@ const (
 	WorkerDrain
 	// WorkerFinish: a worker's loop ended. Nodes is its expansion count.
 	WorkerFinish
+	// Steal: a worker stole subproblems from other workers' deques. Batched:
+	// Nodes carries the number of steals since the worker's previous flush
+	// (workers flush when they park and when they finish), so the steal hot
+	// path never calls the probe.
+	Steal
+	// Park: a worker parked after an empty spin-and-steal round. Nodes is
+	// the worker's expansion count at park time.
+	Park
 
 	// PhaseStart/PhaseEnd bracket one named stage of the decomposition
 	// pipeline (compact-set detection, reduction, merge, validation).
@@ -89,6 +97,8 @@ var kindNames = [...]string{
 	WorkerStart:      "worker_start",
 	WorkerDrain:      "worker_drain",
 	WorkerFinish:     "worker_finish",
+	Steal:            "steal",
+	Park:             "park",
 	PhaseStart:       "phase_start",
 	PhaseEnd:         "phase_end",
 	SubproblemStart:  "subproblem_start",

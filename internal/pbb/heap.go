@@ -1,15 +1,13 @@
 package pbb
 
 import (
-	"container/heap"
-
 	"evotree/internal/bb"
 )
 
 // lbHeap is a min-heap of PNodes keyed by lower bound (ties: deeper node
 // first, which drives toward complete solutions and keeps pools small).
-// It backs both the global pool and the workers' local pools, replacing
-// the seed implementation's O(n) min-scan get and insertion-sorted locals.
+// It backs the global seed/overflow ring, so an idle worker always refills
+// with the most promising pooled subproblem.
 type lbHeap []*bb.PNode
 
 func (h lbHeap) Len() int { return len(h) }
@@ -28,20 +26,4 @@ func (h *lbHeap) Pop() any {
 	old[n-1] = nil
 	*h = old[:n-1]
 	return v
-}
-
-// popWorst removes the node with the HIGHEST lower bound — the least
-// promising one, which is what a worker donates to the global pool. The
-// maximum of a min-heap lies among its leaves, so only the second half is
-// scanned; donations only happen when the global pool has run dry, so the
-// linear leaf scan is off the hot path.
-func popWorst(h *lbHeap) *bb.PNode {
-	n := h.Len()
-	worst := n / 2
-	for i := worst + 1; i < n; i++ {
-		if (*h)[i].LB > (*h)[worst].LB {
-			worst = i
-		}
-	}
-	return heap.Remove(h, worst).(*bb.PNode)
 }

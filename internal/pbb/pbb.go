@@ -1,17 +1,25 @@
 // Package pbb is the parallel branch-and-bound engine of the papers: a
-// master/slave search over goroutines in which
+// master/worker search over goroutines in which
 //
 //   - the master relabels the species (max–min permutation), seeds the
 //     upper bound with UPGMM, applies the 3-3 constraint to the third
 //     species, branches the BBT until at least 2× the number of computing
 //     nodes of subproblems exist, sorts them by lower bound, and dispatches
 //     them cyclically;
-//   - every worker runs depth-first search on its sorted local pool, prunes
-//     against the shared global upper bound, publishes strict improvements
-//     to all other workers immediately, refills from the global pool when
-//     its local pool drains, and donates its least promising subproblem to
-//     the global pool whenever the global pool is empty (the paper's
-//     two-level load-balancing discipline).
+//   - every worker runs depth-first search over its own work-stealing
+//     deque, prunes against the shared global upper bound, publishes strict
+//     improvements to all other workers immediately, and — when it drains —
+//     refills from the small global seed/overflow ring or steals the
+//     least promising node from a random victim.
+//
+// The load-balancing layer modernizes the paper's master/slave global-pool
+// scheme: instead of donating worst nodes to a mutex-guarded global pool,
+// each worker owns a Chase–Lev deque whose top end always holds its
+// oldest, highest-lower-bound subproblem, and idle workers steal from
+// there — the same "move the least promising work" discipline, with no
+// lock on any hot path. The shared upper bound is an atomic (float64 bits)
+// read by a single load, termination is detected by atomic in-flight
+// counting, and idle workers spin briefly before parking.
 //
 // Because an improvement found by any worker prunes the others' subtrees
 // at once, the engine explores fewer nodes than the sequential search on
@@ -20,10 +28,7 @@
 package pbb
 
 import (
-	"container/heap"
-	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,9 +64,10 @@ func DefaultOptions(workers int) Options {
 type Result struct {
 	bb.Result
 	WorkerStats []bb.Stats // per-worker search statistics
-	PoolGets    int64      // subproblems pulled from the global pool
-	PoolPuts    int64      // subproblems donated to the global pool
+	PoolGets    int64      // subproblems pulled from the global seed/overflow ring
+	PoolPuts    int64      // subproblems added to the ring (master dispatch + overflow donations)
 	MasterNodes int        // subproblems created by the master before dispatch
+	Sched       SchedStats // work-stealing scheduler traffic (steals, parks, donations)
 }
 
 // Solve runs the parallel branch-and-bound on m.
@@ -168,31 +174,33 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 		res.Optimal = false
 	}
 	res.MasterNodes = len(frontier)
-	sortByLB(frontier)
+	// The frontier accumulates Expand's already-ordered child runs, so the
+	// shared insertion sort finishes in near-linear time here.
+	bb.SortByLB(frontier)
 
 	// Step 6: cyclic dispatch; a 1/(workers+1) share stays in the global
-	// pool (the paper's master "preserves 1/p nodes in GP").
-	gp := newGlobalPool()
-	gp.probe, gp.start = probe, start
+	// ring (the paper's master "preserves 1/p nodes in GP"), the rest is
+	// dealt into the workers' deques before they start.
+	sched := newScheduler(opt.Workers, probe, start)
 	locals := make([][]*bb.PNode, opt.Workers)
 	for i, v := range frontier {
 		slot := i % (opt.Workers + 1)
 		if slot == opt.Workers {
-			gp.put(v, obs.MasterWorker, obs.PoolPut)
+			sched.ring.put(v, obs.MasterWorker, obs.PoolPut)
 		} else {
 			locals[slot] = append(locals[slot], v)
 		}
 	}
-	gp.addInFlight(len(frontier))
+	sched.addInFlight(len(frontier))
 	if len(frontier) == 0 {
 		// The master phase already exhausted the search (tiny instance or
 		// total pruning); release the workers immediately.
-		gp.markDone()
+		sched.markDone()
 	}
 
 	// Step 7: workers. The expansion budget (Options.MaxNodes) is shared:
-	// workers decrement one atomic counter and stop expanding when it runs
-	// out, exactly like a cooperative cancellation.
+	// workers take one unit per expansion from one atomic counter and stop
+	// expanding when it runs out, exactly like a cooperative cancellation.
 	var budget *atomic.Int64
 	if opt.MaxNodes > 0 {
 		budget = &atomic.Int64{}
@@ -211,7 +219,7 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cancelled[w] = runWorker(p, opt, gp, inc, locals[w], &res.WorkerStats[w], budget, w, start)
+			cancelled[w] = runWorker(p, opt, sched, inc, locals[w], &res.WorkerStats[w], budget, w, start)
 		}(w)
 	}
 	wg.Wait()
@@ -226,7 +234,12 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 	for i := range res.WorkerStats {
 		res.Stats.Add(res.WorkerStats[i])
 	}
-	res.PoolGets, res.PoolPuts = gp.gets, gp.puts
+	res.PoolGets, res.PoolPuts = sched.ring.gets.Load(), sched.ring.puts.Load()
+	res.Sched = SchedStats{
+		Steals:  sched.steals.Load(),
+		Parks:   sched.parks.Load(),
+		Donates: sched.donates.Load(),
+	}
 	res.Cost = inc.bound()
 	res.Tree = inc.tree
 	res.Trees = inc.trees
@@ -244,141 +257,186 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 	return res
 }
 
-// runWorker is the paper's Step 7 loop for one computing node. It reports
-// whether it stopped early (context cancelled or shared expansion budget
-// exhausted).
-func runWorker(p *bb.Problem, opt Options, gp *globalPool, inc *incumbent,
-	local []*bb.PNode, stats *bb.Stats, budget *atomic.Int64, id int, start time.Time) bool {
+// runWorker is the paper's Step 7 loop for one computing node, rebuilt on
+// the work-stealing scheduler. It reports whether it stopped early
+// (context cancelled or shared expansion budget exhausted); a stopped
+// worker keeps consuming nodes without expanding them so the in-flight
+// count still reaches zero and every worker exits promptly.
+func runWorker(p *bb.Problem, opt Options, s *scheduler, inc *incumbent,
+	seed []*bb.PNode, stats *bb.Stats, budget *atomic.Int64, id int, start time.Time) bool {
 	probe := opt.Probe
+	tel := &workerTel{id: id, probe: probe, start: start, stats: stats}
 	if probe != nil {
 		probe.Emit(obs.Event{Kind: obs.WorkerStart, Worker: id,
-			Nodes: int64(len(local)), Elapsed: time.Since(start)})
+			Nodes: int64(len(seed)), Elapsed: time.Since(start)})
 		defer func() {
+			tel.flush()
 			probe.Emit(obs.Event{Kind: obs.WorkerFinish, Worker: id,
 				Nodes: stats.Expanded, Elapsed: time.Since(start)})
 		}()
 	}
-	cancelled := false
-	done := func() bool {
-		if cancelled {
-			return true
-		}
-		if budget != nil && budget.Load() <= 0 {
-			cancelled = true
-			return true
-		}
-		if opt.Ctx == nil {
-			return false
-		}
-		select {
-		case <-opt.Ctx.Done():
-			cancelled = true
-		default:
-		}
-		return cancelled
-	}
-	// Two-tier local state: pool is a min-heap of assigned subproblems (the
-	// paper's sorted local pool, heap-backed so refills and donations are
-	// O(log n)); stack is the DFS through the subproblem currently being
-	// searched, which bounds memory like the sequential engine. Nodes cycle
-	// through np, the worker-private free list.
 	np := p.NewPool()
-	pool := lbHeap(local)
-	heap.Init(&pool)
-	var stack []*bb.PNode
+	d := &s.deques[id]
+	// Seed the deque with the master's dispatch. The list arrives sorted
+	// by ascending LB; pushing worst-first leaves the most promising node
+	// at the bottom (popped first, DFS order) and the least promising at
+	// the top (stolen first).
+	for i := len(seed) - 1; i >= 0; i-- {
+		s.pushLocal(id, d, seed[i])
+	}
+
+	// rngState seeds victim selection deterministically per worker
+	// (splitmix64 of the id, so ids 0 and 1 do not share a sequence).
+	rngState := splitmix64(uint64(id) + 1)
+	cancelled := false
+	ub := inc.bound()
+	epoch := inc.boundEpoch()
+	var scratch []*bb.PNode // reprune sweep buffer, allocated on first use
+	var iter int64
 	for {
-		if len(stack) == 0 {
-			if pool.Len() == 0 {
-				if probe != nil {
-					probe.Emit(obs.Event{Kind: obs.WorkerDrain, Worker: id,
-						Nodes: stats.Expanded, Elapsed: time.Since(start)})
-				}
-				v, ok := gp.get(id)
-				if !ok {
-					return cancelled
-				}
-				stack = append(stack, v)
-			} else {
-				stack = append(stack, heap.Pop(&pool).(*bb.PNode))
+		v, ok := s.next(id, &rngState, tel)
+		if !ok {
+			return cancelled
+		}
+		// Poll the context every 64 nodes, including the very first one, so
+		// a pre-cancelled context stops the worker before any expansion.
+		if !cancelled && opt.Ctx != nil && iter&63 == 0 {
+			select {
+			case <-opt.Ctx.Done():
+				cancelled = true
+			default:
 			}
 		}
-		if done() {
+		iter++
+		if e := inc.boundEpoch(); e != epoch {
+			// Another worker improved the shared bound: refresh the cached
+			// copy and lazily re-prune our own deque against it, off any
+			// lock — stale subproblems die here instead of being expanded.
+			epoch = e
+			ub = inc.bound()
+			scratch = s.repruneLocal(id, d, ub, opt.CollectAll, np, stats, scratch)
+		}
+		if cancelled {
 			// Drain without expanding so termination detection still
 			// reaches zero and every worker exits promptly.
-			gp.finish(len(stack) + pool.Len())
-			stack = stack[:0]
-			pool = pool[:0]
+			s.finish(1)
+			np.Put(v)
 			continue
 		}
-		if held := len(stack) + pool.Len(); held > stats.MaxPoolLen {
+		if held := int(d.size()) + 1; held > stats.MaxPoolLen {
 			stats.MaxPoolLen = held
 		}
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-
-		ub := inc.bound()
 		if v.LB > ub || (!opt.CollectAll && v.LB == ub) {
 			stats.PrunedLB++
-			gp.finish(1)
+			s.finish(1)
 			np.Put(v)
 			continue
 		}
 		if v.Complete(p) {
 			inc.offer(p, v, opt.CollectAll, stats, id)
-			gp.finish(1)
+			s.finish(1)
+			np.Put(v)
+			continue
+		}
+		if budget != nil && budget.Add(-1) < 0 {
+			cancelled = true
+			s.finish(1)
 			np.Put(v)
 			continue
 		}
 		stats.Expanded++
-		if budget != nil {
-			budget.Add(-1)
-		}
-		children, pruned := p.Expand(v, opt.Constraints, inc.bound(), opt.CollectAll, np)
+		children, pruned := p.Expand(v, opt.Constraints, ub, opt.CollectAll, np)
 		stats.Generated += int64(len(children)) + pruned
 		stats.PrunedLB += pruned
 		np.Put(v)
-		added := 0
-		// Children arrive sorted by ascending LB; push in reverse so the
-		// most promising child is popped first.
-		for i := len(children) - 1; i >= 0; i-- {
-			ch := children[i]
-			ub := inc.bound()
-			if ch.LB > ub || (!opt.CollectAll && ch.LB == ub) {
+		// Children arrive sorted by ascending LB, so the prune predicate
+		// cuts a suffix; completeness is uniform across the layer (every
+		// child holds K+1 species).
+		cut := len(children)
+		for cut > 0 {
+			lb := children[cut-1].LB
+			if lb > ub || (!opt.CollectAll && lb == ub) {
 				stats.PrunedLB++
-				np.Put(ch)
+				np.Put(children[cut-1])
+				cut--
 				continue
 			}
-			if ch.Complete(p) {
+			break
+		}
+		if cut > 0 && children[0].Complete(p) {
+			for _, ch := range children[:cut] {
 				inc.offer(p, ch, opt.CollectAll, stats, id)
 				np.Put(ch)
-				continue
 			}
-			stack = append(stack, ch)
-			added++
+			cut = 0
 		}
-		gp.addInFlight(added)
-		gp.finish(1)
-		// Two-level load balancing: when the global pool has run dry and
-		// we still hold spare work, donate our least promising node —
-		// preferably an untouched pooled subproblem, else the bottom of
-		// the DFS stack (the shallowest, highest-LB node we hold).
-		if added > 0 && gp.empty() {
-			switch {
-			case pool.Len() > 0:
-				gp.put(popWorst(&pool), id, obs.PoolDonate)
-			case len(stack) > 1:
-				gp.put(stack[0], id, obs.PoolDonate)
-				stack = append(stack[:0], stack[1:]...)
+		if cut > 0 {
+			// Count the children in-flight BEFORE they become stealable,
+			// then push worst-first so the best child is popped next.
+			s.addInFlight(cut)
+			for i := cut - 1; i >= 0; i-- {
+				s.pushLocal(id, d, children[i])
 			}
+			s.unpark(cut)
 		}
+		s.finish(1)
 	}
+}
+
+// repruneLocal empties the worker's own deque into scratch, discards every
+// node the refreshed bound prunes, and pushes the survivors back in their
+// original order. Runs only when the bound epoch changed — a handful of
+// times per search — and touches only the owner's end of the deque, so no
+// lock is needed; thieves racing the sweep simply steal nodes before the
+// sweep reaches them.
+func (s *scheduler) repruneLocal(id int, d *deque, ub float64, collectAll bool,
+	np *bb.NodePool, stats *bb.Stats, scratch []*bb.PNode) []*bb.PNode {
+	scratch = scratch[:0]
+	pruned := 0
+	for {
+		v := d.pop()
+		if v == nil {
+			break
+		}
+		if v.LB > ub || (!collectAll && v.LB == ub) {
+			stats.PrunedLB++
+			pruned++
+			np.Put(v)
+			continue
+		}
+		scratch = append(scratch, v)
+	}
+	// pop returned newest-first; pushing in reverse restores the original
+	// bottom-to-top order (best at the bottom, worst at the top).
+	for i := len(scratch) - 1; i >= 0; i-- {
+		s.pushLocal(id, d, scratch[i])
+	}
+	s.finish(pruned)
+	return scratch
+}
+
+// splitmix64 spreads a small seed into a full-entropy xorshift state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // ---- incumbent (shared upper bound + best trees) ----
 
+// incumbent holds the shared upper bound and the best trees found so far.
+// The bound itself is published as atomic float64 bits plus an epoch
+// counter: the hot-path read (bound) is a single atomic load, and workers
+// watch the epoch to notice improvements without ever taking the mutex.
+// The mutex only serializes offers — complete topologies at or below the
+// incumbent cost, a rare event — which need tree/CollectAll bookkeeping.
 type incumbent struct {
+	bits  atomic.Uint64 // math.Float64bits of the current upper bound
+	epoch atomic.Uint64 // bumped on every strict improvement
+
 	mu         sync.Mutex
-	ub         float64
+	ub         float64 // authoritative bound, mirrors bits (guarded by mu)
 	tree       *tree.Tree
 	trees      []*tree.Tree
 	collectAll bool
@@ -389,26 +447,51 @@ type incumbent struct {
 }
 
 func newIncumbent(collectAll bool) *incumbent {
-	return &incumbent{ub: math.Inf(1), collectAll: collectAll}
+	c := &incumbent{ub: math.Inf(1), collectAll: collectAll}
+	c.bits.Store(math.Float64bits(math.Inf(1)))
+	return c
 }
 
 func (c *incumbent) seed(ub float64, t *tree.Tree) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ub = ub
+	c.bits.Store(math.Float64bits(ub))
 	c.tree = t
 	if c.collectAll && t != nil {
 		c.trees = []*tree.Tree{t}
 	}
 }
 
-// bound returns the current global upper bound. A mutex-guarded read keeps
-// the code obviously correct; the critical section is two loads.
+// bound returns the current global upper bound: one atomic load, no lock.
+// (The seed implementation took a mutex here, which put an acquire/release
+// pair on every node expansion of every worker — the dominant coordination
+// cost once the search kernel stopped allocating.)
 func (c *incumbent) bound() float64 {
-	c.mu.Lock()
-	ub := c.ub
-	c.mu.Unlock()
-	return ub
+	return math.Float64frombits(c.bits.Load())
+}
+
+// boundEpoch returns the improvement epoch. The bits store precedes the
+// epoch bump, so a reader that sees a new epoch reads a bound at least as
+// tight on its next bound() call.
+func (c *incumbent) boundEpoch() uint64 {
+	return c.epoch.Load()
+}
+
+// publish lowers the atomic bound to ub if it improves on it (CAS loop:
+// concurrent publishers can only tighten) and bumps the epoch.
+func (c *incumbent) publish(ub float64) {
+	bits := math.Float64bits(ub)
+	for {
+		old := c.bits.Load()
+		if math.Float64frombits(old) <= ub {
+			return
+		}
+		if c.bits.CompareAndSwap(old, bits) {
+			c.epoch.Add(1)
+			return
+		}
+	}
 }
 
 // offer records a complete topology, updating the shared bound when it is a
@@ -416,13 +499,18 @@ func (c *incumbent) bound() float64 {
 // paper (shared memory makes the broadcast implicit). worker identifies the
 // finder for telemetry; the probe is invoked while holding the incumbent
 // lock so that UBImproved events form a strictly decreasing sequence even
-// when several workers improve the bound concurrently.
+// when several workers improve the bound concurrently. Offers strictly
+// above the published bound return without touching the mutex.
 func (c *incumbent) offer(p *bb.Problem, v *bb.PNode, collectAll bool, stats *bb.Stats, worker int) {
+	if v.Cost > c.bound() {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch {
 	case v.Cost < c.ub:
 		c.ub = v.Cost
+		c.publish(v.Cost)
 		c.tree = v.Tree(p)
 		c.updates++
 		c.solutions = 1
@@ -447,115 +535,4 @@ func (c *incumbent) offer(p *bb.Problem, v *bb.PNode, collectAll bool, stats *bb
 				Value: v.Cost, Nodes: stats.Expanded, Elapsed: time.Since(c.start)})
 		}
 	}
-}
-
-// ---- global pool ----
-
-// globalPool is the master-side pool of the two-level load balancer plus
-// the termination detector: inFlight counts subproblems that exist anywhere
-// (local pools, global pool, or in a worker's hands); when it reaches zero
-// the search is over and all blocked getters are released.
-type globalPool struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	items    lbHeap // min-heap by LB: get pops the best node in O(log n)
-	inFlight int
-	done     bool
-	gets     int64
-	puts     int64
-	probe    obs.Probe
-	start    time.Time
-}
-
-func newGlobalPool() *globalPool {
-	gp := &globalPool{}
-	gp.cond = sync.NewCond(&gp.mu)
-	return gp
-}
-
-func (gp *globalPool) addInFlight(n int) {
-	if n == 0 {
-		return
-	}
-	gp.mu.Lock()
-	gp.inFlight += n
-	gp.mu.Unlock()
-}
-
-// finish marks n subproblems fully processed.
-func (gp *globalPool) finish(n int) {
-	gp.mu.Lock()
-	gp.inFlight -= n
-	if gp.inFlight < 0 {
-		gp.mu.Unlock()
-		panic(fmt.Sprintf("pbb: inFlight underflow (%d)", gp.inFlight))
-	}
-	if gp.inFlight == 0 {
-		gp.done = true
-		gp.cond.Broadcast()
-	}
-	gp.mu.Unlock()
-}
-
-// markDone terminates the pool regardless of the in-flight count; used
-// when the master phase leaves no work to dispatch.
-func (gp *globalPool) markDone() {
-	gp.mu.Lock()
-	gp.done = true
-	gp.cond.Broadcast()
-	gp.mu.Unlock()
-}
-
-// put adds a subproblem to the pool. kind distinguishes a master dispatch
-// (obs.PoolPut) from a worker donation (obs.PoolDonate) in the telemetry.
-func (gp *globalPool) put(v *bb.PNode, worker int, kind obs.Kind) {
-	gp.mu.Lock()
-	heap.Push(&gp.items, v)
-	gp.puts++
-	size := int64(gp.items.Len())
-	gp.cond.Broadcast()
-	gp.mu.Unlock()
-	if gp.probe != nil {
-		gp.probe.Emit(obs.Event{Kind: kind, Worker: worker,
-			Nodes: size, Elapsed: time.Since(gp.start)})
-	}
-}
-
-// get blocks until a subproblem is available or the search has terminated.
-// It hands out the most promising pooled node (lowest LB) — the heap makes
-// this O(log n) where the seed implementation scanned the whole pool.
-func (gp *globalPool) get(worker int) (*bb.PNode, bool) {
-	gp.mu.Lock()
-	for gp.items.Len() == 0 && !gp.done {
-		gp.cond.Wait()
-	}
-	if gp.items.Len() == 0 {
-		gp.mu.Unlock()
-		return nil, false
-	}
-	v := heap.Pop(&gp.items).(*bb.PNode)
-	gp.gets++
-	size := int64(gp.items.Len())
-	gp.mu.Unlock()
-	if gp.probe != nil {
-		gp.probe.Emit(obs.Event{Kind: obs.PoolGet, Worker: worker,
-			Nodes: size, Elapsed: time.Since(gp.start)})
-	}
-	return v, true
-}
-
-func (gp *globalPool) empty() bool {
-	gp.mu.Lock()
-	e := gp.items.Len() == 0 && !gp.done
-	gp.mu.Unlock()
-	return e
-}
-
-// ---- sorting helpers ----
-
-// sortByLB orders the master's frontier by ascending lower bound before the
-// cyclic dispatch (Step 6). Stable so equal-LB subproblems keep their
-// breadth-first discovery order.
-func sortByLB(nodes []*bb.PNode) {
-	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].LB < nodes[j].LB })
 }

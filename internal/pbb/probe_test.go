@@ -96,6 +96,27 @@ func TestProbeEventOrderingAndUBMonotonicity(t *testing.T) {
 	if puts != res.PoolPuts {
 		t.Fatalf("pool put+donate events = %d, stats say %d", puts, res.PoolPuts)
 	}
+
+	// Steal events are batched (Nodes = steals since the worker's previous
+	// flush), so their sum — not their count — must match the scheduler's
+	// counter; park events are emitted one per park.
+	var stolen int64
+	for _, ev := range rec.byKind(obs.Steal) {
+		if ev.Nodes <= 0 {
+			t.Fatalf("steal event with non-positive batch size: %+v", ev)
+		}
+		stolen += ev.Nodes
+	}
+	if stolen != res.Sched.Steals {
+		t.Fatalf("steal events sum to %d, stats say %d", stolen, res.Sched.Steals)
+	}
+	if got := int64(len(rec.byKind(obs.Park))); got != res.Sched.Parks {
+		t.Fatalf("park events = %d, stats say %d", got, res.Sched.Parks)
+	}
+	if res.Sched.Donates != int64(len(rec.byKind(obs.PoolDonate))) {
+		t.Fatalf("donate events = %d, stats say %d",
+			len(rec.byKind(obs.PoolDonate)), res.Sched.Donates)
+	}
 }
 
 // TestNoInitialUBHonored is the regression test for the parallel engine

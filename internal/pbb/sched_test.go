@@ -1,0 +1,279 @@
+package pbb
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"evotree/internal/bb"
+	"evotree/internal/matrix"
+)
+
+// ---- deque unit tests ----
+
+func TestDequeLIFOOwnerFIFOThief(t *testing.T) {
+	var d deque
+	d.init()
+	nodes := make([]*bb.PNode, 10)
+	for i := range nodes {
+		nodes[i] = &bb.PNode{LB: float64(i)}
+		if !d.push(nodes[i]) {
+			t.Fatalf("push %d overflowed", i)
+		}
+	}
+	if got := d.size(); got != 10 {
+		t.Fatalf("size = %d, want 10", got)
+	}
+	// The owner pops the newest entry; a thief steals the oldest.
+	if v := d.pop(); v != nodes[9] {
+		t.Fatalf("pop returned %v, want newest", v.LB)
+	}
+	if v, retry := d.steal(); retry || v != nodes[0] {
+		t.Fatalf("steal returned %v (retry=%v), want oldest", v, retry)
+	}
+	if v, _ := d.steal(); v != nodes[1] {
+		t.Fatalf("second steal returned %v, want next-oldest", v)
+	}
+	for i := 8; i >= 2; i-- {
+		if v := d.pop(); v != nodes[i] {
+			t.Fatalf("pop returned %v, want %d", v, i)
+		}
+	}
+	if v := d.pop(); v != nil {
+		t.Fatalf("empty pop returned %v", v)
+	}
+	if v, retry := d.steal(); v != nil || retry {
+		t.Fatalf("empty steal returned %v retry=%v", v, retry)
+	}
+}
+
+func TestDequeGrowsPastInitialCapacity(t *testing.T) {
+	var d deque
+	d.init()
+	n := 4 * dequeInitialCap
+	nodes := make([]*bb.PNode, n)
+	for i := range nodes {
+		nodes[i] = &bb.PNode{LB: float64(i)}
+		if !d.push(nodes[i]) {
+			t.Fatalf("push %d hit the growth bound", i)
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		if v := d.pop(); v != nodes[i] {
+			t.Fatalf("pop %d returned the wrong node", i)
+		}
+	}
+}
+
+func TestDequeOverflowReportsFull(t *testing.T) {
+	var d deque
+	d.maxCap = dequeInitialCap // forbid growth so push overflows
+	d.init()
+	for i := 0; i < dequeInitialCap; i++ {
+		if !d.push(&bb.PNode{LB: float64(i)}) {
+			t.Fatalf("push %d failed below the bound", i)
+		}
+	}
+	if d.push(&bb.PNode{}) {
+		t.Fatal("push beyond maxCap must report overflow")
+	}
+	if v, _ := d.steal(); v == nil {
+		t.Fatal("overflowing deque must still be stealable")
+	}
+	if !d.push(&bb.PNode{}) {
+		t.Fatal("push must succeed again after a steal made room")
+	}
+}
+
+// TestDequeConcurrentStealStress races four thieves against the owner's
+// push/pop traffic and checks node conservation: every pushed node comes
+// out exactly once, via pop or steal. Run under -race this exercises the
+// Chase–Lev last-element CAS and the ring-growth publication.
+func TestDequeConcurrentStealStress(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const total = 20000
+	var d deque
+	d.init()
+	nodes := make([]*bb.PNode, total)
+	for i := range nodes {
+		nodes[i] = &bb.PNode{LB: float64(i)}
+	}
+	const thieves = 4
+	stolen := make([][]*bb.PNode, thieves)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for th := 0; th < thieves; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for {
+				v, retry := d.steal()
+				if v != nil {
+					stolen[th] = append(stolen[th], v)
+					continue
+				}
+				if !retry && stop.Load() {
+					return
+				}
+				runtime.Gosched()
+			}
+		}(th)
+	}
+	var popped []*bb.PNode
+	for i := 0; i < total; i++ {
+		if !d.push(nodes[i]) {
+			t.Errorf("push %d overflowed", i)
+			break
+		}
+		if i%3 == 0 {
+			if v := d.pop(); v != nil {
+				popped = append(popped, v)
+			}
+		}
+	}
+	for {
+		v := d.pop()
+		if v == nil {
+			break
+		}
+		popped = append(popped, v)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	seen := make(map[*bb.PNode]int, total)
+	for _, v := range popped {
+		seen[v]++
+	}
+	for _, s := range stolen {
+		for _, v := range s {
+			seen[v]++
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("recovered %d distinct nodes, want %d", len(seen), total)
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("node %v recovered %d times", v.LB, c)
+		}
+	}
+}
+
+// TestDequeSteadyStateAllocs is the AllocsPerRun guard from the issue: once
+// the ring exists, push/pop churn must allocate nothing.
+func TestDequeSteadyStateAllocs(t *testing.T) {
+	var d deque
+	d.init()
+	v := &bb.PNode{}
+	allocs := testing.AllocsPerRun(500, func() {
+		for i := 0; i < dequeInitialCap/2; i++ {
+			d.push(v)
+		}
+		for i := 0; i < dequeInitialCap/2; i++ {
+			d.pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("deque push/pop cycle allocates %.0f objects, want 0", allocs)
+	}
+}
+
+// ---- scheduler-level tests ----
+
+// TestSpillDonatesToRingOnOverflow drives pushLocal past the deque's growth
+// bound and checks the overflow ends up in the global ring with nothing
+// lost and the donation counter advanced.
+func TestSpillDonatesToRingOnOverflow(t *testing.T) {
+	s := newScheduler(1, nil, time.Now())
+	s.deques[0].maxCap = dequeInitialCap
+	d := &s.deques[0]
+	const total = 3 * dequeInitialCap
+	for i := 0; i < total; i++ {
+		s.pushLocal(0, d, &bb.PNode{LB: float64(i)})
+	}
+	if s.donates.Load() == 0 {
+		t.Fatal("overflow produced no donations")
+	}
+	if got := d.size() + s.ring.size.Load(); got != total {
+		t.Fatalf("deque+ring hold %d nodes, want %d", got, total)
+	}
+	if s.ring.puts.Load() != s.donates.Load() {
+		t.Fatalf("ring puts %d != donations %d", s.ring.puts.Load(), s.donates.Load())
+	}
+}
+
+// TestSchedulerStressAcrossWorkerCounts is the issue's -race stress matrix:
+// seeded instances solved at 1, 4, 8 and NumCPU workers must all reproduce
+// the sequential optimum and terminate. GOMAXPROCS is raised so the worker
+// goroutines genuinely interleave (and steal/park) even on small hosts.
+func TestSchedulerStressAcrossWorkerCounts(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(max(4, runtime.NumCPU())))
+	counts := []int{1, 4, 8, runtime.NumCPU()}
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 3; trial++ {
+		m := matrix.Random0100(rng, 12)
+		seq, err := bb.Solve(m, bb.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range counts {
+			res, err := Solve(m, DefaultOptions(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Optimal || math.Abs(res.Cost-seq.Cost) > 0 {
+				t.Fatalf("trial %d workers %d: cost %g optimal=%v, want %g",
+					trial, w, res.Cost, res.Optimal, seq.Cost)
+			}
+			if !res.Tree.Feasible(m, 1e-9) {
+				t.Fatalf("trial %d workers %d: infeasible tree", trial, w)
+			}
+		}
+	}
+}
+
+// TestDeterministicOptimumAcrossRuns pins the scheduler's determinism
+// contract: whatever the steal/park interleaving, 50 solves of the same
+// instance return the identical optimum cost.
+func TestDeterministicOptimumAcrossRuns(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(max(4, runtime.NumCPU())))
+	m := matrix.Random0100(rand.New(rand.NewSource(21)), 12)
+	ref, err := Solve(m, DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 49; i++ {
+		res, err := Solve(m, DefaultOptions(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost != ref.Cost {
+			t.Fatalf("run %d: cost %g, first run found %g", i, res.Cost, ref.Cost)
+		}
+	}
+}
+
+// TestTerminationCountsBalance checks the in-flight accounting closes: after
+// a solve every created subproblem was consumed (the scheduler's done flag
+// is set and nothing is left in any deque or the ring).
+func TestTerminationCountsBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 3; trial++ {
+		m := matrix.Random0100(rng, 11)
+		res, err := Solve(m, DefaultOptions(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			t.Fatalf("trial %d: unconstrained solve not optimal", trial)
+		}
+		if res.Sched.Steals < 0 || res.Sched.Parks < 0 || res.Sched.Donates < 0 {
+			t.Fatalf("trial %d: negative scheduler stats %+v", trial, res.Sched)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package verify
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"evotree/internal/bb"
@@ -56,17 +57,6 @@ func engineByName(name string) (Engine, error) {
 			res := p.SolveBestFirst(bbOpt(maxNodes, false))
 			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
 		}}, nil
-	case "pbb1", "pbb4", "pbb8":
-		workers := int(name[3] - '0')
-		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
-			opt := pbb.DefaultOptions(workers)
-			opt.MaxNodes = maxNodes
-			res, err := pbb.Solve(m, opt)
-			if err != nil {
-				return EngineResult{Name: name}, err
-			}
-			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
-		}}, nil
 	case "whole":
 		// The core pipeline with decomposition disabled — the paper's
 		// control condition; exact like the parallel engine it wraps.
@@ -94,10 +84,45 @@ func engineByName(name string) (Engine, error) {
 			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
 		}}, nil
 	}
+	// pbb<N> runs the parallel engine with N workers, for any N ≥ 1 — the
+	// differential harness sweeps the work-stealing scheduler at arbitrary
+	// concurrency levels (evocheck -workers).
+	if w, ok := parsePBBWorkers(name); ok {
+		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
+			opt := pbb.DefaultOptions(w)
+			opt.MaxNodes = maxNodes
+			res, err := pbb.Solve(m, opt)
+			if err != nil {
+				return EngineResult{Name: name}, err
+			}
+			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
+		}}, nil
+	}
 	return Engine{}, fmt.Errorf("verify: unknown engine %q (want one of %s)", name, strings.Join(EngineNames(), ","))
 }
 
-// EngineNames lists every registered engine name, sorted.
+// parsePBBWorkers recognizes a "pbb<N>" engine name and returns its worker
+// count.
+func parsePBBWorkers(name string) (int, bool) {
+	s, ok := strings.CutPrefix(name, "pbb")
+	if !ok || s == "" {
+		return 0, false
+	}
+	w, err := strconv.Atoi(s)
+	if err != nil || w < 1 {
+		return 0, false
+	}
+	return w, true
+}
+
+// PBBEngineName returns the engine name for the parallel engine at the
+// given worker count.
+func PBBEngineName(workers int) string {
+	return fmt.Sprintf("pbb%d", workers)
+}
+
+// EngineNames lists the standard engine names, sorted. Any "pbb<N>" with
+// N ≥ 1 is additionally accepted by ParseEngines for concurrency sweeps.
 func EngineNames() []string {
 	names := []string{"bb", "bb33", "bestfirst", "pbb1", "pbb4", "pbb8", "whole", "compact", "compact33"}
 	sort.Strings(names)
