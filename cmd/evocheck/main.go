@@ -50,6 +50,7 @@ func run(args []string, stdout io.Writer) error {
 		meta      = fs.Bool("meta", false, "also run the metamorphic property suite per instance")
 		soak      = fs.Duration("soak", 0, "repeat with fresh seeds until this duration elapses")
 		quiet     = fs.Bool("quiet", false, "suppress per-instance progress dots")
+		flight    = fs.Bool("flight", true, "record search events per instance and dump the flight recorder on any failure")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -94,7 +95,8 @@ func run(args []string, stdout io.Writer) error {
 			MaxRatio:      *ratio,
 			MaxNodes:      *maxNodes,
 		},
-		Metamorphic: *meta,
+		Metamorphic:    *meta,
+		FlightRecorder: *flight,
 	}
 	if !*quiet {
 		cfg.Progress = progressPrinter(stdout)
@@ -129,6 +131,10 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "  %s\n", f)
 		}
 		fmt.Fprintf(stdout, "  matrix:\n%s\n", indent(bad.Matrix, "    "))
+		if bad.Flight != "" {
+			fmt.Fprintf(stdout, "  flight recorder:\n%s\n",
+				indent(strings.TrimRight(bad.Flight, "\n"), "    "))
+		}
 	}
 	if rounds > 1 {
 		fmt.Fprintf(stdout, "soak: %d rounds in %v\n", rounds, time.Since(start).Round(time.Millisecond))

@@ -27,6 +27,7 @@ import (
 	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	"evotree/internal/bb"
 	"evotree/internal/bootstrap"
@@ -65,8 +66,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		showSets  = fs.Bool("sets", false, "print the detected compact sets")
 		showStats = fs.Bool("stats", false, "print search statistics")
 		quiet     = fs.Bool("q", false, "print only the Newick tree")
-		progress  = fs.Bool("progress", false, "print live UB-convergence lines (seed bound, improvements, phases) to stderr")
+		progress  = fs.Bool("progress", false, "print live UB-convergence and gap lines (seed bound, improvements, phases) to stderr")
 		trace     = fs.Bool("trace", false, "print every search event (implies -progress; adds pool/worker traffic) to stderr")
+		gap       = fs.Duration("gap", 0, "optimality-gap sample period (0 = 1s when -progress/-trace, else off; negative disables)")
+		flight    = fs.String("flight", "", "write a flight-recorder JSON dump of the search's event history to this file on exit")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -109,16 +112,43 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return fmt.Errorf("%s: empty matrix", name)
 	}
 
-	var probe obs.Probe
-	if *trace || *progress {
+	progressOn := *trace || *progress
+	var probes []obs.Probe
+	if progressOn {
 		// UB-convergence events log at Info, pool/worker traffic at
 		// Debug; -trace opens the Debug level, -progress stops at Info.
 		level := slog.LevelInfo
 		if *trace {
 			level = slog.LevelDebug
 		}
-		probe = obs.NewTracer(slog.New(slog.NewTextHandler(stderr,
-			&slog.HandlerOptions{Level: level})))
+		probes = append(probes, obs.NewTracer(slog.New(slog.NewTextHandler(stderr,
+			&slog.HandlerOptions{Level: level}))))
+	}
+	var rec *obs.Recorder
+	if *flight != "" {
+		rec = obs.NewRecorder(16, 256)
+		probes = append(probes, rec)
+		// Deferred so the dump survives error returns: a truncated or
+		// failed search is exactly when the recorded history matters.
+		defer func() {
+			f, err := os.Create(*flight)
+			if err != nil {
+				fmt.Fprintln(stderr, "evotree: flight dump:", err)
+				return
+			}
+			defer f.Close()
+			if err := rec.WriteJSON(f); err != nil {
+				fmt.Fprintln(stderr, "evotree: flight dump:", err)
+			}
+		}()
+	}
+	probe := obs.Multi(probes...)
+	gapPeriod := *gap
+	if gapPeriod == 0 && progressOn {
+		gapPeriod = time.Second
+	}
+	if gapPeriod < 0 {
+		gapPeriod = 0
 	}
 
 	bbOpt := bb.Options{
@@ -127,8 +157,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			ThreeThree:    *threeT,
 			ThreeThreeAll: *threeTAll,
 		},
-		MaxNodes: *maxNodes,
-		Probe:    probe,
+		MaxNodes:  *maxNodes,
+		Probe:     probe,
+		GapPeriod: gapPeriod,
 	}
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -174,11 +205,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if progressOn {
+			printSearchSummary(stderr, res.Stats, pbb.SchedStats{})
+		}
 		return printResult(stdout, m, res.Tree, res.Cost, res.Optimal, res.Stats, nil, *quiet, *showStats, *showSets, *ascii)
 	case "pbb":
 		res, err := pbb.Solve(m, pbb.Options{Options: bbOpt, Workers: *workers, InitialFanout: 2})
 		if err != nil {
 			return err
+		}
+		if progressOn {
+			printSearchSummary(stderr, res.Stats, res.Sched)
 		}
 		return printResult(stdout, m, res.Tree, res.Cost, res.Optimal, res.Stats, nil, *quiet, *showStats, *showSets, *ascii)
 	case "compact":
@@ -190,6 +227,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		res, err := core.Construct(m, opt)
 		if err != nil {
 			return err
+		}
+		if progressOn {
+			printSearchSummary(stderr, res.Stats, pbb.SchedStats{})
 		}
 		return printResult(stdout, m, res.Tree, res.Cost, true, res.Stats, res.CompactSets, *quiet, *showStats, *showSets, *ascii)
 	default:
@@ -218,12 +258,27 @@ func printResult(w io.Writer, m *matrix.Matrix, t *tree.Tree, cost float64,
 		fmt.Fprintf(w, "# expanded=%d generated=%d pruned=%d solutions=%d ub-updates=%d max-pool=%d\n",
 			stats.Expanded, stats.Generated, stats.PrunedLB, stats.Solutions,
 			stats.UBUpdates, stats.MaxPoolLen)
+		fmt.Fprintf(w, "# pruned-by-rule: bound=%d incumbent=%d threethree=%d constraint=%d budget=%d\n",
+			stats.Pruned.Bound, stats.Pruned.Incumbent, stats.Pruned.ThreeThree,
+			stats.Pruned.Constraint, stats.Pruned.Budget)
 	}
 	if ascii {
 		fmt.Fprint(w, t.Ascii())
 	}
 	_, err := fmt.Fprintln(w, t.Newick())
 	return err
+}
+
+// printSearchSummary is the -progress terminal line: one stderr line with
+// the node totals, scheduler traffic, and per-rule prune attribution, so a
+// progress run ends with the search's whole story even without -trace.
+func printSearchSummary(w io.Writer, stats bb.Stats, sched pbb.SchedStats) {
+	fmt.Fprintf(w,
+		"search summary: nodes=%d generated=%d completed=%d solutions=%d steals=%d parks=%d donates=%d pruned[bound=%d incumbent=%d threethree=%d constraint=%d budget=%d]\n",
+		stats.Expanded, stats.Generated, stats.Completed, stats.Solutions,
+		sched.Steals, sched.Parks, sched.Donates,
+		stats.Pruned.Bound, stats.Pruned.Incumbent, stats.Pruned.ThreeThree,
+		stats.Pruned.Constraint, stats.Pruned.Budget)
 }
 
 // runBootstrap resamples the alignment and prints the reference tree with

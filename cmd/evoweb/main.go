@@ -1,8 +1,9 @@
 // Command evoweb serves the evolutionary-tree construction system over
 // HTTP — the project's "user-friendly web interface". It exposes a small
 // HTML form at /, a JSON API at POST /api/tree, Prometheus-format metrics
-// at GET /metrics, and (with -pprof) the net/http/pprof profiling
-// endpoints under /debug/pprof/.
+// at GET /metrics, a live search-event stream (SSE) at GET /api/events, a
+// flight-recorder snapshot at GET /debug/search, and (with -pprof) the
+// net/http/pprof profiling endpoints under /debug/pprof/.
 //
 // Usage:
 //
@@ -53,6 +54,7 @@ type config struct {
 	logJSON     bool
 	quiet       bool
 	shutdownTmo time.Duration
+	gapPeriod   time.Duration
 }
 
 func parseFlags(args []string, stderr io.Writer) (config, error) {
@@ -67,6 +69,7 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.BoolVar(&cfg.logJSON, "log-json", false, "emit logs as JSON instead of text")
 	fs.BoolVar(&cfg.quiet, "no-access-log", false, "disable per-request access logging")
 	fs.DurationVar(&cfg.shutdownTmo, "shutdown-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	fs.DurationVar(&cfg.gapPeriod, "gap-period", time.Second, "optimality-gap sample period for /api/events and /debug/search (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -117,6 +120,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	s.MaxSpecies = cfg.maxSpecies
 	s.MaxNodes = cfg.maxNodes
 	s.Workers = cfg.workers
+	s.GapPeriod = cfg.gapPeriod
 	if !cfg.quiet {
 		s.Logger = logger
 	}

@@ -64,6 +64,14 @@ type (
 	SearchResult = bb.Result
 	// SearchStats count the work a search performed.
 	SearchStats = bb.Stats
+	// PruneStats attribute every discarded search node to the rule that
+	// killed it (bound, incumbent, 3-3, constraint, budget); see
+	// SearchStats.Pruned and the accounting identity documented there.
+	PruneStats = bb.PruneStats
+	// FlightRecorder is a Probe keeping the last K telemetry events per
+	// worker in fixed-size rings, dumped as JSON for post-hoc triage of
+	// crashed or truncated searches. See NewFlightRecorder.
+	FlightRecorder = obs.Recorder
 	// MtDNAParams configure the molecular-clock workload simulator.
 	MtDNAParams = seqsim.Params
 	// MtDNADataset is one simulated mtDNA instance.
@@ -105,6 +113,14 @@ func NewSearchMetrics(reg *MetricsRegistry) Probe { return obs.NewSearchMetrics(
 
 // MultiProbe fans events out to several probes, dropping nils.
 func MultiProbe(probes ...Probe) Probe { return obs.Multi(probes...) }
+
+// NewFlightRecorder returns a flight-recorder Probe with the given
+// stripe count and per-stripe ring capacity; NewFlightRecorder(16, 64)
+// is a reasonable default. Wire it via Options.Probe (or MultiProbe) and
+// dump with WriteJSON/DumpJSON after a failure or timeout.
+func NewFlightRecorder(stripes, perStripe int) *FlightRecorder {
+	return obs.NewRecorder(stripes, perStripe)
+}
 
 // NewMatrix returns an n×n zero matrix with synthetic species names.
 func NewMatrix(n int) *Matrix { return matrix.New(n) }

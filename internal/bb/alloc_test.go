@@ -3,6 +3,7 @@ package bb
 import (
 	"math"
 	"testing"
+	"time"
 )
 
 // TestExpandSteadyStateAllocations guards the pooled kernel: once a worker's
@@ -54,12 +55,67 @@ func TestPrunedChildrenAllocateNothing(t *testing.T) {
 		if len(children) != 0 {
 			t.Fatal("expected every child pruned")
 		}
-		if pruned == 0 {
-			t.Fatal("expected a non-zero pruned count")
+		if pruned.Bound == 0 {
+			t.Fatal("expected a non-zero bound-pruned count")
 		}
 	})
 	if allocs != 0 {
 		t.Fatalf("fully pruned expansion allocates %.0f objects, want 0", allocs)
+	}
+}
+
+// TestIntrospectionNilProbeZeroAlloc guards the uninstrumented hot path:
+// with a nil probe the entire introspection layer — per-rule accounting,
+// the disabled gap sampler, and the prune-stats flush — must cost zero
+// allocations per search iteration, so an unprobed solve pays only the
+// documented nil checks.
+func TestIntrospectionNilProbeZeroAlloc(t *testing.T) {
+	var s Stats
+	gs := newGapSampler(nil, time.Second, time.Now())
+	if gs.enabled() {
+		t.Fatal("nil-probe sampler must be disabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.CountExpand(3, PruneStats{Bound: 2, ThreeThree: 1})
+		s.CountIncumbentPrune(1)
+		s.CountBoundPrune(1)
+		s.CountBudgetPrune(4)
+		if gs.enabled() {
+			gs.maybeSample(10, 5, s.Expanded, 1)
+		}
+		gs.sampleNow(10, 5, s.Expanded, 1)
+		EmitPruneStats(nil, 0, s.Pruned, time.Second)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-probe introspection path allocates %.0f objects per iteration, want 0", allocs)
+	}
+}
+
+// TestSolveNilProbeSteadyStateAllocations pins the full uninstrumented
+// solve: with the probe nil and gap sampling off, a whole sequential
+// search on a warm matrix must stay within the pre-introspection
+// allocation envelope (result + stack + pooled nodes), proving the new
+// attribution counters add no per-node allocations.
+func TestSolveNilProbeSteadyStateAllocations(t *testing.T) {
+	m := kernelMatrix(9)
+	opt := DefaultOptions()
+	if _, err := Solve(m, opt); err != nil { // warm any lazy state
+		t.Fatal(err)
+	}
+	base := testing.AllocsPerRun(20, func() {
+		if _, err := Solve(m, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	instr := opt
+	instr.GapPeriod = time.Hour // enabled but probe is nil: must stay disabled
+	with := testing.AllocsPerRun(20, func() {
+		if _, err := Solve(m, instr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if with > base {
+		t.Fatalf("nil-probe solve with GapPeriod set allocates %.0f objects vs %.0f baseline", with, base)
 	}
 }
 

@@ -44,7 +44,7 @@ func (h *nodeHeap) Pop() any {
 // Options are honored as in SolveSequential; MaxNodes doubles as a memory
 // guard since the frontier can grow large.
 func (p *Problem) SolveBestFirst(opt Options) *Result {
-	res := &Result{}
+	res := &Result{OpenLB: math.Inf(1)}
 	start := time.Now()
 	if opt.Probe != nil {
 		opt.Probe.Emit(obs.Event{Kind: obs.ProblemStart, Worker: obs.MasterWorker, N: p.n})
@@ -71,6 +71,8 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 		}
 	}
 	res.Optimal = true
+	gs := newGapSampler(opt.Probe, opt.GapPeriod, start)
+	var exitOpen int64 // nodes still open at exit (0 unless truncated)
 	defer func() {
 		if res.Tree == nil && ubTree != nil {
 			// Nothing beat the external bound: report the feasible UPGMM
@@ -78,6 +80,10 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 			res.Tree, res.Cost = ubTree, ubCost
 		}
 		if opt.Probe != nil {
+			// Flush prune attribution and the terminal gap snapshot before
+			// ProblemFinish, which must stay the final event of a search.
+			EmitPruneStats(opt.Probe, obs.MasterWorker, res.Stats.Pruned, time.Since(start))
+			gs.sampleNow(res.Cost, res.OpenLB, res.Stats.Expanded, exitOpen)
 			opt.Probe.Emit(obs.Event{Kind: obs.ProblemFinish, Worker: obs.MasterWorker,
 				Value: res.Cost, Nodes: res.Stats.Expanded, Elapsed: time.Since(start)})
 		}
@@ -89,6 +95,10 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 	np := p.NewPool()
 	frontier := &nodeHeap{p.Root()}
 	heap.Init(frontier)
+	res.Stats.Roots++
+	if gs.enabled() {
+		gs.sampleNow(ub, (*frontier)[0].LB, 0, 1)
+	}
 	for frontier.Len() > 0 {
 		if frontier.Len() > res.Stats.MaxPoolLen {
 			res.Stats.MaxPoolLen = frontier.Len()
@@ -99,32 +109,48 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 			select {
 			case <-opt.Ctx.Done():
 				res.Optimal = false
+				res.Stats.CountBudgetPrune(int64(frontier.Len()) + 1)
+				res.OpenLB = v.LB // heap min: v bounds the whole frontier
+				exitOpen = int64(frontier.Len()) + 1
 				return res
 			default:
 			}
 		}
+		if gs.enabled() && iter%1024 == 0 {
+			// v came off an LB-ordered heap, so v.LB is the exact best
+			// open lower bound.
+			gs.maybeSample(ub, v.LB, res.Stats.Expanded, int64(frontier.Len())+1)
+		}
 		if prune(v.LB, ub, opt.CollectAll) {
 			// The heap is LB-ordered: once the best node prunes, every
-			// remaining node prunes too.
-			res.Stats.PrunedLB += int64(frontier.Len() + 1)
+			// remaining node prunes too. These nodes entered the frontier
+			// viable and died to a later incumbent — attribute them to the
+			// incumbent rule, not the generation-time bound (satellite fix:
+			// PrunedLB used to conflate the two).
+			res.Stats.CountIncumbentPrune(int64(frontier.Len()) + 1)
 			break
 		}
 		if opt.MaxNodes > 0 && res.Stats.Expanded >= opt.MaxNodes {
 			res.Optimal = false
+			res.Stats.CountBudgetPrune(int64(frontier.Len()) + 1)
+			res.OpenLB = v.LB
+			exitOpen = int64(frontier.Len()) + 1
 			break
 		}
 		res.Stats.Expanded++
 		children, pruned := p.Expand(v, opt.Constraints, ub, opt.CollectAll, np)
-		res.Stats.Generated += int64(len(children)) + pruned
-		res.Stats.PrunedLB += pruned
+		res.Stats.CountExpand(len(children), pruned)
 		np.Put(v)
 		for _, ch := range children {
 			if prune(ch.LB, ub, opt.CollectAll) {
-				res.Stats.PrunedLB++
+				// A sibling's solution improved ub mid-loop: incumbent
+				// discard (satellite fix, see above).
+				res.Stats.CountIncumbentPrune(1)
 				np.Put(ch)
 				continue
 			}
 			if ch.Complete(p) {
+				res.Stats.Completed++
 				ub = p.recordSolution(ch, ub, opt, res, start)
 				np.Put(ch)
 				continue

@@ -16,20 +16,23 @@ type Constraints struct {
 
 // Expand generates the children of v in the BBT by inserting permuted
 // species v.K at every position, applying the configured 3-3 constraints,
-// and returns the survivors sorted by ascending lower bound plus the count
-// of children pruned against ub. v must not be complete.
+// and returns the survivors sorted by ascending lower bound plus the
+// per-rule attribution of every discarded candidate. v must not be
+// complete.
 //
 // The bound check runs BEFORE cloning: each candidate's Cost (and hence
 // LB) is computed read-only against the parent, so a pruned child costs no
 // allocation at all. ub is the caller's current upper bound (+Inf for an
 // unbounded expansion); collectAll keeps LB == ub children alive, exactly
 // like the engines' prune predicate. Kept children are drawn from np (nil
-// allocates fresh nodes). The returned pruned count feeds the callers'
-// Generated/PrunedLB statistics.
-func (p *Problem) Expand(v *PNode, c Constraints, ub float64, collectAll bool, np *NodePool) (children []*PNode, pruned int64) {
+// allocates fresh nodes). The returned PruneStats has only Bound,
+// ThreeThree and Constraint components (Expand never discards by incumbent
+// or budget); callers fold it in with Stats.CountExpand, which counts both
+// survivors and discards as Generated.
+func (p *Problem) Expand(v *PNode, c Constraints, ub float64, collectAll bool, np *NodePool) (children []*PNode, pruned PruneStats) {
 	s := v.K
 	if s >= p.n {
-		return nil, 0
+		return nil, pruned
 	}
 	positions := v.Positions()
 	var allowed [3]int32
@@ -47,11 +50,12 @@ func (p *Problem) Expand(v *PNode, c Constraints, ub float64, collectAll bool, n
 	p.maxDistSweep(v, s, md)
 	for pos := 0; pos < positions; pos++ {
 		if restricted && allowed[pos] == 0 {
+			pruned.ThreeThree++
 			continue
 		}
 		lb := p.childBound(v, s, pos, md) + tail
 		if lb > ub || (!collectAll && lb == ub) {
-			pruned++
+			pruned.Bound++
 			continue
 		}
 		children = append(children, p.insert(v, s, pos, np, md))
@@ -73,6 +77,7 @@ func (p *Problem) Expand(v *PNode, c Constraints, ub float64, collectAll bool, n
 					children[w] = ch
 					w++
 				} else {
+					pruned.Constraint++
 					np.Put(ch)
 				}
 			}

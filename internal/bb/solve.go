@@ -42,6 +42,13 @@ type Options struct {
 	// start/finish, seed bound, every strict UB improvement). The nil
 	// default costs the search one branch per event site.
 	Probe obs.Probe
+	// GapPeriod, when positive and Probe is non-nil, emits periodic
+	// obs.GapSample convergence snapshots (incumbent, best open lower
+	// bound, relative gap, frontier size, nodes/sec) at roughly this
+	// interval, plus one initial and one terminal sample. Zero (the
+	// default) disables sampling entirely, keeping the uninstrumented
+	// event stream unchanged.
+	GapPeriod time.Duration
 }
 
 // DefaultOptions enable the max–min relabeling and keep both 3-3 filters
@@ -59,14 +66,37 @@ func PaperOptions() Options {
 	return Options{UseMaxMin: true, Constraints: Constraints{ThreeThree: true}}
 }
 
-// Stats count the work a search performed.
+// Stats count the work a search performed. The counters satisfy the
+// node-accounting identity
+//
+//	Generated + Roots == Expanded + Pruned.Total() + Completed
+//
+// on every engine, including truncated searches (abandoned nodes count as
+// budget prunes) — the verification harness asserts it differentially.
 type Stats struct {
-	Expanded   int64 // BBT nodes branched
-	Generated  int64 // children created
-	PrunedLB   int64 // children discarded by LB ≥ UB
-	Solutions  int64 // complete topologies reaching the incumbent cost
-	UBUpdates  int64 // strict improvements of the upper bound
-	MaxPoolLen int   // high-water mark of the DFS stack
+	Expanded int64 // BBT nodes branched
+	// Generated counts candidate children considered: survivors plus
+	// every candidate a rule discarded (bound, 3-3, constraint).
+	Generated int64
+	// PrunedLB is the historical "discarded by LB ≥ UB" sum — kept as
+	// Pruned.Bound + Pruned.Incumbent for compatibility; see
+	// PrunedIncumbent and Pruned for the split.
+	PrunedLB int64
+	// PrunedIncumbent counts nodes that entered the pool/frontier while
+	// viable and were discarded later because the incumbent improved
+	// (identical to Pruned.Incumbent, surfaced as a flat field).
+	PrunedIncumbent int64
+	Solutions       int64 // complete topologies reaching the incumbent cost
+	UBUpdates       int64 // strict improvements of the upper bound
+	// Completed counts complete topologies consumed by the search,
+	// whether or not they matched the incumbent.
+	Completed int64
+	// Roots counts search roots seeded (one per (sub)search; the parallel
+	// engine's workers share the master's single root).
+	Roots      int64
+	MaxPoolLen int // high-water mark of the DFS stack / frontier
+	// Pruned attributes every discarded node to the rule that killed it.
+	Pruned PruneStats
 }
 
 // Add accumulates other into s.
@@ -74,11 +104,15 @@ func (s *Stats) Add(other Stats) {
 	s.Expanded += other.Expanded
 	s.Generated += other.Generated
 	s.PrunedLB += other.PrunedLB
+	s.PrunedIncumbent += other.PrunedIncumbent
 	s.Solutions += other.Solutions
 	s.UBUpdates += other.UBUpdates
+	s.Completed += other.Completed
+	s.Roots += other.Roots
 	if other.MaxPoolLen > s.MaxPoolLen {
 		s.MaxPoolLen = other.MaxPoolLen
 	}
+	s.Pruned.Add(other.Pruned)
 }
 
 // Result is the outcome of a solve.
@@ -93,7 +127,12 @@ type Result struct {
 	Trees   []*tree.Tree // all optima when Options.CollectAll
 	Cost    float64      // ω of Tree
 	Optimal bool         // false only when MaxNodes cut the search short
-	Stats   Stats
+	// OpenLB is the best lower bound among the open nodes a truncated
+	// search abandoned — the proof floor: the true optimum is ≥
+	// min(OpenLB, Cost). +Inf when the search ran to completion (no open
+	// node remains, Cost is proven optimal).
+	OpenLB float64
+	Stats  Stats
 }
 
 // Solve constructs a minimum ultrametric tree for m with Algorithm BBU.
@@ -109,7 +148,7 @@ func Solve(m *matrix.Matrix, opt Options) (*Result, error) {
 // always descends into the child with the smallest lower bound first, which
 // is the paper's "get the tree for branch using DFS" on a sorted pool.
 func (p *Problem) SolveSequential(opt Options) *Result {
-	res := &Result{}
+	res := &Result{OpenLB: math.Inf(1)}
 	start := time.Now()
 	if opt.Probe != nil {
 		opt.Probe.Emit(obs.Event{Kind: obs.ProblemStart, Worker: obs.MasterWorker, N: p.n})
@@ -138,6 +177,8 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 		}
 	}
 	res.Optimal = true
+	gs := newGapSampler(opt.Probe, opt.GapPeriod, start)
+	var exitOpen int64 // nodes still open at exit (0 unless truncated)
 	defer func() {
 		if res.Tree == nil && ubTree != nil {
 			// Nothing beat the external bound: report the feasible UPGMM
@@ -145,6 +186,11 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 			res.Tree, res.Cost = ubTree, ubCost
 		}
 		if opt.Probe != nil {
+			// Flush the batched prune attribution and the terminal gap
+			// snapshot BEFORE ProblemFinish: consumers rely on
+			// ProblemFinish staying the final event of a search.
+			EmitPruneStats(opt.Probe, obs.MasterWorker, res.Stats.Pruned, time.Since(start))
+			gs.sampleNow(res.Cost, res.OpenLB, res.Stats.Expanded, exitOpen)
 			opt.Probe.Emit(obs.Event{Kind: obs.ProblemFinish, Worker: obs.MasterWorker,
 				Value: res.Cost, Nodes: res.Stats.Expanded, Elapsed: time.Since(start)})
 		}
@@ -157,6 +203,10 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 	var iter int64
 	np := p.NewPool()
 	stack := []*PNode{p.Root()}
+	res.Stats.Roots++
+	if gs.enabled() {
+		gs.sampleNow(ub, stack[0].LB, 0, 1)
+	}
 	for len(stack) > 0 {
 		if len(stack) > res.Stats.MaxPoolLen {
 			res.Stats.MaxPoolLen = len(stack)
@@ -168,34 +218,46 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 			select {
 			case <-opt.Ctx.Done():
 				res.Optimal = false
+				res.Stats.CountBudgetPrune(int64(len(stack)) + 1)
+				res.OpenLB = math.Min(v.LB, minLB(stack))
+				exitOpen = int64(len(stack)) + 1
 				return res
 			default:
 			}
 		}
+		if gs.enabled() && iter%1024 == 0 {
+			gs.maybeSample(ub, math.Min(v.LB, minLB(stack)),
+				res.Stats.Expanded, int64(len(stack))+1)
+		}
 		if prune(v.LB, ub, opt.CollectAll) {
-			res.Stats.PrunedLB++
+			res.Stats.CountIncumbentPrune(1)
 			np.Put(v)
 			continue
 		}
 		if opt.MaxNodes > 0 && res.Stats.Expanded >= opt.MaxNodes {
 			res.Optimal = false
+			res.Stats.CountBudgetPrune(int64(len(stack)) + 1)
+			res.OpenLB = math.Min(v.LB, minLB(stack))
+			exitOpen = int64(len(stack)) + 1
 			break
 		}
 		res.Stats.Expanded++
 		children, pruned := p.Expand(v, opt.Constraints, ub, opt.CollectAll, np)
-		res.Stats.Generated += int64(len(children)) + pruned
-		res.Stats.PrunedLB += pruned
+		res.Stats.CountExpand(len(children), pruned)
 		np.Put(v)
 		// Children arrive sorted by ascending LB; push in reverse so the
 		// most promising child is popped first.
 		for i := len(children) - 1; i >= 0; i-- {
 			ch := children[i]
 			if prune(ch.LB, ub, opt.CollectAll) {
-				res.Stats.PrunedLB++
+				// An earlier sibling's solution improved ub after Expand's
+				// bound check — an incumbent discard, not a bound one.
+				res.Stats.CountIncumbentPrune(1)
 				np.Put(ch)
 				continue
 			}
 			if ch.Complete(p) {
+				res.Stats.Completed++
 				ub = p.recordSolution(ch, ub, opt, res, start)
 				np.Put(ch)
 				continue

@@ -1,0 +1,64 @@
+package obs
+
+import "sync"
+
+// Broadcaster is a Probe that fans events out to dynamically registered
+// subscribers over buffered channels — the bridge between the engines'
+// event stream and live consumers like evoweb's SSE progress endpoint.
+// Emission never blocks: a subscriber whose buffer is full simply misses
+// events (progress streams tolerate gaps; correctness data lives in the
+// Recorder and metrics, not here).
+type Broadcaster struct {
+	mu   sync.Mutex
+	subs map[uint64]chan Event
+	next uint64
+}
+
+// NewBroadcaster returns an empty broadcaster.
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: make(map[uint64]chan Event)}
+}
+
+// Emit implements Probe: the event is offered to every subscriber,
+// dropping it for any whose buffer is full.
+func (b *Broadcaster) Emit(ev Event) {
+	b.mu.Lock()
+	for _, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall the search
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Subscribe registers a new subscriber with the given channel buffer
+// (minimum 1) and returns its event channel plus a cancel function. The
+// channel is closed by cancel; cancel is idempotent and safe to call
+// concurrently with Emit.
+func (b *Broadcaster) Subscribe(buf int) (<-chan Event, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Event, buf)
+	b.mu.Lock()
+	id := b.next
+	b.next++
+	b.subs[id] = ch
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		if _, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+}
+
+// Subscribers reports the current subscriber count.
+func (b *Broadcaster) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBroadcasterFanOut checks basic delivery: every subscriber sees every
+// event emitted while it is registered, and cancel closes its channel.
+func TestBroadcasterFanOut(t *testing.T) {
+	b := NewBroadcaster()
+	ch1, cancel1 := b.Subscribe(8)
+	ch2, cancel2 := b.Subscribe(8)
+	defer cancel2()
+	if got := b.Subscribers(); got != 2 {
+		t.Fatalf("Subscribers = %d, want 2", got)
+	}
+	for i := 0; i < 3; i++ {
+		b.Emit(Event{Kind: UBImproved, Nodes: int64(i)})
+	}
+	for _, ch := range []<-chan Event{ch1, ch2} {
+		for i := 0; i < 3; i++ {
+			ev := <-ch
+			if ev.Nodes != int64(i) {
+				t.Fatalf("got event %d, want %d", ev.Nodes, i)
+			}
+		}
+	}
+	cancel1()
+	cancel1() // idempotent
+	if _, open := <-ch1; open {
+		t.Fatal("cancel must close the subscriber channel")
+	}
+	b.Emit(Event{Kind: UBImproved}) // must not panic or deliver to ch1
+	if ev := <-ch2; ev.Kind != UBImproved {
+		t.Fatalf("remaining subscriber missed the event: %+v", ev)
+	}
+}
+
+// TestBroadcasterDropsWhenFull checks the non-blocking contract: a slow
+// subscriber loses events instead of stalling Emit.
+func TestBroadcasterDropsWhenFull(t *testing.T) {
+	b := NewBroadcaster()
+	ch, cancel := b.Subscribe(1)
+	defer cancel()
+	b.Emit(Event{Nodes: 1})
+	b.Emit(Event{Nodes: 2}) // buffer full: dropped, must not block
+	if ev := <-ch; ev.Nodes != 1 {
+		t.Fatalf("got event %d, want the first", ev.Nodes)
+	}
+	select {
+	case ev := <-ch:
+		t.Fatalf("unexpected second event %d: the full buffer should have dropped it", ev.Nodes)
+	default:
+	}
+}
+
+// TestMultiFanOutConcurrent drives one Multi probe — metrics registry,
+// recorder, and broadcaster together, the evoweb production wiring — from
+// many goroutines under -race, and checks each component observed every
+// event.
+func TestMultiFanOutConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	sm := NewSearchMetrics(reg)
+	rec := NewRecorder(8, 32)
+	bc := NewBroadcaster()
+	_, cancel := bc.Subscribe(4) // deliberately tiny: drops must stay safe
+	defer cancel()
+	probe := Multi(sm, rec, bc)
+
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				probe.Emit(Event{Kind: Prune, Worker: w, Phase: RuleBound, Nodes: 2})
+				probe.Emit(Event{Kind: GapSample, Worker: w, Value: 10, BestLB: 5,
+					Gap: 0.5, Rate: 100, Frontier: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := rec.Total(); got != 2*workers*per {
+		t.Fatalf("recorder saw %d events, want %d", got, 2*workers*per)
+	}
+	// The registry's prune counter must equal the sum of all batched
+	// Prune events: workers × per × Nodes=2.
+	var b strings.Builder
+	_, _ = reg.WriteTo(&b)
+	want := fmt.Sprintf(`evotree_pruned_total{rule="bound"} %d`, 2*workers*per)
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("metrics missing %q in:\n%s", want, b.String())
+	}
+}

@@ -31,6 +31,19 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer when it streams. Without this
+// the middleware would hide http.Flusher from handlers, and the SSE
+// progress endpoint (which flushes after every event) would refuse to
+// serve.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.status == 0 {
+			w.status = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
 // HTTPMetrics instruments handlers with a per-route request counter
 // (partitioned by status code), a per-route latency histogram, and a
 // server-wide in-flight gauge.

@@ -138,6 +138,22 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return f.series1(nil, func() any { return &Gauge{} }).(*Gauge)
 }
 
+// FloatGauge is a gauge holding a float64 (atomic bits), for values like
+// optimality-gap ratios that an integer gauge cannot carry.
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// FloatGauge registers (or returns) an unlabeled float gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	f := r.lookup(name, help, "gauge", nil, nil)
+	return f.series1(nil, func() any { return &FloatGauge{} }).(*FloatGauge)
+}
+
 // ---- histogram ----
 
 // DefBuckets are latency buckets in seconds, spanning 1ms to 60s — wide
@@ -251,6 +267,9 @@ func (f *family) render(b *strings.Builder) {
 			fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(f.labels, values, ""), m.Value())
 		case *Gauge:
 			fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(f.labels, values, ""), m.Value())
+		case *FloatGauge:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, values, ""),
+				strconv.FormatFloat(m.Value(), 'g', -1, 64))
 		case *Histogram:
 			var cum uint64
 			for j, bound := range m.bounds {
@@ -328,6 +347,11 @@ type SearchMetrics struct {
 	steals      *Counter
 	parks       *Counter
 	subproblems *Counter
+	pruned      *CounterVec
+	gap         *FloatGauge
+	bestLB      *FloatGauge
+	frontier    *Gauge
+	rate        *FloatGauge
 	solveSec    *Histogram
 	subSec      *Histogram
 }
@@ -347,6 +371,11 @@ func NewSearchMetrics(reg *Registry) *SearchMetrics {
 		steals:      reg.Counter("evotree_steals_total", "Subproblems stolen from other workers' deques."),
 		parks:       reg.Counter("evotree_worker_parks_total", "Times a worker parked after an empty spin-and-steal round."),
 		subproblems: reg.Counter("evotree_subproblems_total", "Reduced matrices solved by the decomposition pipeline."),
+		pruned:      reg.CounterVec("evotree_pruned_total", "Search nodes discarded, by pruning rule.", "rule"),
+		gap:         reg.FloatGauge("evotree_search_gap_ratio", "Relative optimality gap of the most recent GapSample (incumbent vs best open LB)."),
+		bestLB:      reg.FloatGauge("evotree_search_best_open_lb", "Best open lower bound of the most recent GapSample (0 when the frontier is empty)."),
+		frontier:    reg.Gauge("evotree_search_frontier_nodes", "Open subproblems at the most recent GapSample."),
+		rate:        reg.FloatGauge("evotree_search_nodes_per_second", "Expansion throughput of the most recent GapSample."),
 		solveSec:    reg.Histogram("evotree_search_seconds", "Wall-clock duration of one branch-and-bound search.", nil),
 		subSec:      reg.Histogram("evotree_subproblem_seconds", "Wall-clock duration of one decomposition subproblem solve.", nil),
 	}
@@ -380,5 +409,16 @@ func (m *SearchMetrics) Emit(ev Event) {
 	case SubproblemFinish:
 		m.subproblems.Inc()
 		m.subSec.Observe(ev.Elapsed.Seconds())
+	case Prune:
+		m.pruned.With(ev.Phase).Add(ev.Nodes)
+	case GapSample:
+		m.gap.Set(ev.Gap)
+		m.frontier.Set(ev.Frontier)
+		m.rate.Set(ev.Rate)
+		lb := ev.BestLB
+		if math.IsInf(lb, 0) || math.IsNaN(lb) {
+			lb = 0 // exposition must stay parseable; 0 marks "no open work"
+		}
+		m.bestLB.Set(lb)
 	}
 }

@@ -10,7 +10,10 @@
 // guard every emission with `if probe != nil`.
 package obs
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // Kind identifies what happened. The zero value is KindUnknown so that an
 // accidentally zero-initialized event is recognizable.
@@ -78,7 +81,49 @@ const (
 	// duration in Elapsed and the subtree cost in Value.
 	SubproblemStart
 	SubproblemFinish
+
+	// Prune reports a batch of discarded search nodes attributed to one
+	// pruning rule. Phase carries the rule name (one of the Rule*
+	// constants), Nodes the batch size, Worker the emitting context.
+	// Batched like Steal: sequential engines flush once per search,
+	// parallel workers once per worker, so the prune hot path never calls
+	// the probe.
+	Prune
+	// GapSample is a periodic convergence snapshot: Value carries the
+	// incumbent upper bound, BestLB the best (estimated) open lower
+	// bound, Gap their relative gap, Rate the expansion throughput in
+	// nodes/second since the previous sample, Frontier the number of open
+	// subproblems, Nodes the total expansions so far. Sequential engines
+	// sample inline from the search loop (exact frontier minima); the
+	// parallel engine samples from a low-overhead goroutine over
+	// per-worker published minima, so BestLB may overestimate the true
+	// open minimum there (the gap reads tighter than it is, never the
+	// other way for the sequential engines).
+	GapSample
 )
+
+// Prune-rule names carried in Event.Phase by Prune events and used as the
+// {rule} label of the evotree_pruned_total metric.
+const (
+	// RuleBound: children discarded at generation time because their lower
+	// bound could not beat the upper bound current at that moment.
+	RuleBound = "bound"
+	// RuleIncumbent: nodes that entered the pool/frontier/deque while
+	// viable and were discarded later because the incumbent improved.
+	RuleIncumbent = "incumbent"
+	// RuleThreeThree: insertion positions excluded by the third-species
+	// 3-3 relation (Step 4 of the parallel algorithm).
+	RuleThreeThree = "threethree"
+	// RuleConstraint: children dropped by the generalized per-insertion
+	// 3-3 feasibility filter (Constraints.ThreeThreeAll).
+	RuleConstraint = "constraint"
+	// RuleBudget: nodes abandoned unexplored when MaxNodes or a context
+	// cancellation truncated the search.
+	RuleBudget = "budget"
+)
+
+// Rules lists every prune-rule name in stable display order.
+var Rules = []string{RuleBound, RuleIncumbent, RuleThreeThree, RuleConstraint, RuleBudget}
 
 // MasterWorker is the Worker id used by the sequential engine and by the
 // parallel engine's master phase; real workers are numbered from 0.
@@ -103,6 +148,8 @@ var kindNames = [...]string{
 	PhaseEnd:         "phase_end",
 	SubproblemStart:  "subproblem_start",
 	SubproblemFinish: "subproblem_finish",
+	Prune:            "prune",
+	GapSample:        "gap_sample",
 }
 
 // String returns the snake_case event name used in logs and metrics.
@@ -120,10 +167,40 @@ type Event struct {
 	Kind    Kind
 	Worker  int           // worker id, MasterWorker for sequential/master contexts
 	Value   float64       // bound / cost, when meaningful
-	Nodes   int64         // nodes expanded by the emitting context
+	Nodes   int64         // nodes expanded by the emitting context; batch size for Prune/Steal
 	N       int           // problem or subproblem size (species)
-	Phase   string        // phase name for PhaseStart/PhaseEnd
+	Phase   string        // phase name for PhaseStart/PhaseEnd; rule name for Prune
 	Elapsed time.Duration // since search start; phase/subproblem duration on *End/*Finish
+
+	// GapSample-only fields (zero elsewhere).
+	BestLB   float64 // best open lower bound (+Inf when the frontier is empty)
+	Gap      float64 // relative optimality gap, see GapRatio
+	Rate     float64 // nodes expanded per second since the previous sample
+	Frontier int64   // open subproblems at sample time
+}
+
+// GapRatio is the relative optimality gap between the incumbent upper
+// bound and the best open lower bound: (ub − lb) / |ub|, clamped to 0 when
+// every open node already matches or exceeds the incumbent (the remaining
+// frontier will prune, the incumbent is proven optimal) or when no open
+// node remains (lb = +Inf). An infinite ub (no incumbent yet) reports 1 —
+// a 100% gap — so the value stays finite and JSON-encodable.
+func GapRatio(ub, lb float64) float64 {
+	switch {
+	case math.IsInf(lb, 1) || lb >= ub:
+		return 0
+	case math.IsInf(ub, 1):
+		return 1
+	}
+	denom := math.Abs(ub)
+	if denom < math.SmallestNonzeroFloat64 {
+		return 0
+	}
+	g := (ub - lb) / denom
+	if g < 0 {
+		return 0
+	}
+	return g
 }
 
 // Probe receives telemetry events. Implementations must be safe for

@@ -31,7 +31,7 @@ func (t *Tracer) Emit(ev Event) {
 	level := slog.LevelDebug
 	switch ev.Kind {
 	case ProblemStart, SeedBound, UBImproved, ProblemFinish,
-		PhaseStart, PhaseEnd, SubproblemStart, SubproblemFinish:
+		PhaseStart, PhaseEnd, SubproblemStart, SubproblemFinish, GapSample:
 		level = slog.LevelInfo
 	}
 	if !t.l.Enabled(context.Background(), level) {
@@ -62,6 +62,21 @@ func (t *Tracer) Emit(ev Event) {
 			slog.Int("species", ev.N),
 			slog.Float64("cost", ev.Value),
 			slog.Duration("took", ev.Elapsed))
+	case GapSample:
+		attrs = append(attrs,
+			slog.Float64("ub", ev.Value),
+			slog.Float64("open_lb", ev.BestLB),
+			slog.Float64("gap", ev.Gap),
+			slog.Int64("frontier", ev.Frontier),
+			slog.Float64("nodes_per_sec", ev.Rate),
+			slog.Int64("expanded", ev.Nodes),
+			slog.Duration("elapsed", ev.Elapsed))
+	case Prune:
+		attrs = append(attrs,
+			slog.String("rule", ev.Phase),
+			slog.Int64("nodes", ev.Nodes),
+			slog.Int("worker", ev.Worker),
+			slog.Duration("elapsed", ev.Elapsed))
 	default: // pool and worker lifecycle traffic
 		attrs = append(attrs,
 			slog.Int("worker", ev.Worker),

@@ -89,6 +89,7 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 	}
 	res := &Result{WorkerStats: make([]bb.Stats, opt.Workers)}
 	res.Optimal = true
+	res.OpenLB = math.Inf(1)
 	start := time.Now()
 	probe := opt.Probe
 	if probe != nil {
@@ -127,6 +128,14 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 	frontier := []*bb.PNode{p.Root()}
 	mp := p.NewPool()
 	var masterStats bb.Stats
+	masterStats.Roots++
+	sampling := probe != nil && opt.GapPeriod > 0
+	if sampling {
+		// Initial convergence snapshot: one root open, nothing expanded.
+		probe.Emit(obs.Event{Kind: obs.GapSample, Worker: obs.MasterWorker,
+			Value: ub, BestLB: frontier[0].LB, Gap: obs.GapRatio(ub, frontier[0].LB),
+			Frontier: 1, Elapsed: time.Since(start)})
+	}
 	truncated := false
 	for len(frontier) > 0 && len(frontier) < target {
 		if opt.MaxNodes > 0 && masterStats.Expanded >= opt.MaxNodes {
@@ -147,22 +156,25 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 		v := frontier[0]
 		frontier = frontier[1:]
 		if v.Complete(p) {
+			masterStats.Completed++
 			inc.offer(p, v, opt.CollectAll, &masterStats, obs.MasterWorker)
 			mp.Put(v)
 			continue
 		}
 		masterStats.Expanded++
 		children, pruned := p.Expand(v, opt.Constraints, inc.bound(), opt.CollectAll, mp)
-		masterStats.Generated += int64(len(children)) + pruned
-		masterStats.PrunedLB += pruned
+		masterStats.CountExpand(len(children), pruned)
 		mp.Put(v)
 		for _, ch := range children {
 			if b := inc.bound(); ch.LB > b || (!opt.CollectAll && ch.LB == b) {
-				masterStats.PrunedLB++
+				// A sibling's complete topology tightened the incumbent
+				// after Expand's bound check.
+				masterStats.CountIncumbentPrune(1)
 				mp.Put(ch)
 				continue
 			}
 			if ch.Complete(p) {
+				masterStats.Completed++
 				inc.offer(p, ch, opt.CollectAll, &masterStats, obs.MasterWorker)
 				mp.Put(ch)
 				continue
@@ -213,19 +225,65 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 		}
 		budget.Store(remaining)
 	}
+	// Gap sampler: a goroutine reading the workers' published telemetry
+	// slots at GapPeriod. Started only when sampling is on, stopped (and
+	// joined) before any terminal event so ProblemFinish stays last. The
+	// master's expansion count is frozen here, so the sampler never reads
+	// masterStats concurrently.
+	sched.sampling = sampling
+	var samplerStop, samplerDone chan struct{}
+	if sampling {
+		samplerStop, samplerDone = make(chan struct{}), make(chan struct{})
+		masterExpanded := masterStats.Expanded
+		go func() {
+			defer close(samplerDone)
+			tick := time.NewTicker(opt.GapPeriod)
+			defer tick.Stop()
+			last := time.Now()
+			var lastNodes int64
+			for {
+				select {
+				case <-samplerStop:
+					return
+				case <-tick.C:
+					lb, wexp, frontier := sched.telemetry()
+					expanded := masterExpanded + wexp
+					now := time.Now()
+					var rate float64
+					if dt := now.Sub(last); dt > 0 {
+						rate = float64(expanded-lastNodes) / dt.Seconds()
+					}
+					last, lastNodes = now, expanded
+					cur := inc.bound()
+					probe.Emit(obs.Event{Kind: obs.GapSample, Worker: obs.MasterWorker,
+						Value: cur, BestLB: lb, Gap: obs.GapRatio(cur, lb), Rate: rate,
+						Nodes: expanded, Frontier: frontier, Elapsed: now.Sub(start)})
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	cancelled := make([]bool, opt.Workers)
+	openMins := make([]float64, opt.Workers)
 	for w := 0; w < opt.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cancelled[w] = runWorker(p, opt, sched, inc, locals[w], &res.WorkerStats[w], budget, w, start)
+			cancelled[w], openMins[w] = runWorker(p, opt, sched, inc, locals[w], &res.WorkerStats[w], budget, w, start)
 		}(w)
 	}
 	wg.Wait()
-	for _, c := range cancelled {
+	if sampling {
+		close(samplerStop)
+		<-samplerDone
+	}
+	for w, c := range cancelled {
 		if c {
 			res.Optimal = false
+		}
+		if openMins[w] < res.OpenLB {
+			res.OpenLB = openMins[w]
 		}
 	}
 
@@ -251,6 +309,15 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 		res.Tree, res.Cost = ubTree, ubCost
 	}
 	if probe != nil {
+		// Flush the master's prune attribution (workers flushed their own
+		// in runWorker) and the terminal gap snapshot before
+		// ProblemFinish, which must stay the final event of a search.
+		bb.EmitPruneStats(probe, obs.MasterWorker, masterStats.Pruned, time.Since(start))
+		if sampling {
+			probe.Emit(obs.Event{Kind: obs.GapSample, Worker: obs.MasterWorker,
+				Value: res.Cost, BestLB: res.OpenLB, Gap: obs.GapRatio(res.Cost, res.OpenLB),
+				Nodes: res.Stats.Expanded, Elapsed: time.Since(start)})
+		}
 		probe.Emit(obs.Event{Kind: obs.ProblemFinish, Worker: obs.MasterWorker,
 			Value: res.Cost, Nodes: res.Stats.Expanded, Elapsed: time.Since(start)})
 	}
@@ -259,11 +326,12 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 
 // runWorker is the paper's Step 7 loop for one computing node, rebuilt on
 // the work-stealing scheduler. It reports whether it stopped early
-// (context cancelled or shared expansion budget exhausted); a stopped
-// worker keeps consuming nodes without expanding them so the in-flight
-// count still reaches zero and every worker exits promptly.
+// (context cancelled or shared expansion budget exhausted) together with
+// the smallest lower bound among the nodes it abandoned (+Inf when none);
+// a stopped worker keeps consuming nodes without expanding them so the
+// in-flight count still reaches zero and every worker exits promptly.
 func runWorker(p *bb.Problem, opt Options, s *scheduler, inc *incumbent,
-	seed []*bb.PNode, stats *bb.Stats, budget *atomic.Int64, id int, start time.Time) bool {
+	seed []*bb.PNode, stats *bb.Stats, budget *atomic.Int64, id int, start time.Time) (bool, float64) {
 	probe := opt.Probe
 	tel := &workerTel{id: id, probe: probe, start: start, stats: stats}
 	if probe != nil {
@@ -271,6 +339,9 @@ func runWorker(p *bb.Problem, opt Options, s *scheduler, inc *incumbent,
 			Nodes: int64(len(seed)), Elapsed: time.Since(start)})
 		defer func() {
 			tel.flush()
+			// Per-worker prune attribution, batched across the whole loop:
+			// the prune hot paths only touch plain counters.
+			bb.EmitPruneStats(probe, id, stats.Pruned, time.Since(start))
 			probe.Emit(obs.Event{Kind: obs.WorkerFinish, Worker: id,
 				Nodes: stats.Expanded, Elapsed: time.Since(start)})
 		}()
@@ -289,6 +360,7 @@ func runWorker(p *bb.Problem, opt Options, s *scheduler, inc *incumbent,
 	// (splitmix64 of the id, so ids 0 and 1 do not share a sequence).
 	rngState := splitmix64(uint64(id) + 1)
 	cancelled := false
+	openMin := math.Inf(1) // best LB among nodes this worker abandoned
 	ub := inc.bound()
 	epoch := inc.boundEpoch()
 	var scratch []*bb.PNode // reprune sweep buffer, allocated on first use
@@ -296,7 +368,13 @@ func runWorker(p *bb.Problem, opt Options, s *scheduler, inc *incumbent,
 	for {
 		v, ok := s.next(id, &rngState, tel)
 		if !ok {
-			return cancelled
+			if s.sampling {
+				s.publish(id, math.Inf(1), stats.Expanded)
+			}
+			return cancelled, openMin
+		}
+		if s.sampling {
+			s.publish(id, v.LB, stats.Expanded)
 		}
 		// Poll the context every 64 nodes, including the very first one, so
 		// a pre-cancelled context stops the worker before any expansion.
@@ -318,7 +396,13 @@ func runWorker(p *bb.Problem, opt Options, s *scheduler, inc *incumbent,
 		}
 		if cancelled {
 			// Drain without expanding so termination detection still
-			// reaches zero and every worker exits promptly.
+			// reaches zero and every worker exits promptly. The node is
+			// abandoned unexplored: a budget prune, and its LB feeds the
+			// truncated result's proof floor (Result.OpenLB).
+			stats.CountBudgetPrune(1)
+			if v.LB < openMin {
+				openMin = v.LB
+			}
 			s.finish(1)
 			np.Put(v)
 			continue
@@ -327,12 +411,15 @@ func runWorker(p *bb.Problem, opt Options, s *scheduler, inc *incumbent,
 			stats.MaxPoolLen = held
 		}
 		if v.LB > ub || (!opt.CollectAll && v.LB == ub) {
-			stats.PrunedLB++
+			// The node was viable when it entered a deque; the incumbent
+			// improved in the meantime.
+			stats.CountIncumbentPrune(1)
 			s.finish(1)
 			np.Put(v)
 			continue
 		}
 		if v.Complete(p) {
+			stats.Completed++
 			inc.offer(p, v, opt.CollectAll, stats, id)
 			s.finish(1)
 			np.Put(v)
@@ -340,14 +427,17 @@ func runWorker(p *bb.Problem, opt Options, s *scheduler, inc *incumbent,
 		}
 		if budget != nil && budget.Add(-1) < 0 {
 			cancelled = true
+			stats.CountBudgetPrune(1)
+			if v.LB < openMin {
+				openMin = v.LB
+			}
 			s.finish(1)
 			np.Put(v)
 			continue
 		}
 		stats.Expanded++
 		children, pruned := p.Expand(v, opt.Constraints, ub, opt.CollectAll, np)
-		stats.Generated += int64(len(children)) + pruned
-		stats.PrunedLB += pruned
+		stats.CountExpand(len(children), pruned)
 		np.Put(v)
 		// Children arrive sorted by ascending LB, so the prune predicate
 		// cuts a suffix; completeness is uniform across the layer (every
@@ -356,7 +446,7 @@ func runWorker(p *bb.Problem, opt Options, s *scheduler, inc *incumbent,
 		for cut > 0 {
 			lb := children[cut-1].LB
 			if lb > ub || (!opt.CollectAll && lb == ub) {
-				stats.PrunedLB++
+				stats.CountIncumbentPrune(1)
 				np.Put(children[cut-1])
 				cut--
 				continue
@@ -365,6 +455,7 @@ func runWorker(p *bb.Problem, opt Options, s *scheduler, inc *incumbent,
 		}
 		if cut > 0 && children[0].Complete(p) {
 			for _, ch := range children[:cut] {
+				stats.Completed++
 				inc.offer(p, ch, opt.CollectAll, stats, id)
 				np.Put(ch)
 			}
@@ -399,7 +490,9 @@ func (s *scheduler) repruneLocal(id int, d *deque, ub float64, collectAll bool,
 			break
 		}
 		if v.LB > ub || (!collectAll && v.LB == ub) {
-			stats.PrunedLB++
+			// Deque residents that died to another worker's improvement:
+			// incumbent discards by definition.
+			stats.CountIncumbentPrune(1)
 			pruned++
 			np.Put(v)
 			continue

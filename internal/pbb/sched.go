@@ -3,6 +3,7 @@ package pbb
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -55,8 +56,54 @@ type scheduler struct {
 	parks   atomic.Int64
 	donates atomic.Int64
 
+	// Gap-telemetry slots, one per worker. sampling is set before the
+	// worker goroutines start (the go statement orders the write) and
+	// never changes, so the per-node hot-path cost when sampling is off is
+	// exactly one predictable branch.
+	slots    []telSlot
+	sampling bool
+
 	probe obs.Probe
 	start time.Time
+}
+
+// telSlot is one worker's published telemetry: the lower bound of the
+// node it most recently took (Float64bits; +Inf when it holds nothing)
+// and its expansion count. Padded so two workers' slots never share a
+// cache line.
+type telSlot struct {
+	openLB   atomic.Uint64
+	expanded atomic.Int64
+	_        [48]byte
+}
+
+// publish stores a worker's current node LB and expansion count for the
+// sampler goroutine. Called only when sampling is enabled.
+func (s *scheduler) publish(id int, lb float64, expanded int64) {
+	sl := &s.slots[id]
+	sl.openLB.Store(math.Float64bits(lb))
+	sl.expanded.Store(expanded)
+}
+
+// telemetry folds the published per-worker slots and the global ring into
+// one snapshot: an estimate of the best open lower bound, the summed
+// worker expansion count, and the open-node count (inFlight is exact by
+// the scheduler invariant). The LB estimate is approximate — deques are
+// not scanned, and a worker's slot can be momentarily stale — which is
+// the price of keeping the hot path at one branch; sequential engines
+// report exact frontier minima instead.
+func (s *scheduler) telemetry() (lb float64, expanded int64, frontier int64) {
+	lb = math.Inf(1)
+	for i := range s.slots {
+		if v := math.Float64frombits(s.slots[i].openLB.Load()); v < lb {
+			lb = v
+		}
+		expanded += s.slots[i].expanded.Load()
+	}
+	if rl := s.ring.minLB(); rl < lb {
+		lb = rl
+	}
+	return lb, expanded, s.inFlight.Load()
 }
 
 // spinRounds bounds how many Gosched-yielding retry rounds an idle worker
@@ -73,6 +120,10 @@ func newScheduler(workers int, probe obs.Probe, start time.Time) *scheduler {
 	}
 	for i := range s.deques {
 		s.deques[i].init()
+	}
+	s.slots = make([]telSlot, workers)
+	for i := range s.slots {
+		s.slots[i].openLB.Store(math.Float64bits(math.Inf(1)))
 	}
 	s.ring.probe, s.ring.start = probe, start
 	return s
@@ -279,6 +330,20 @@ func (r *globalRing) put(v *bb.PNode, worker int, kind obs.Kind) {
 		r.probe.Emit(obs.Event{Kind: kind, Worker: worker,
 			Nodes: n, Elapsed: time.Since(r.start)})
 	}
+}
+
+// minLB returns the lower bound of the ring's most promising node, +Inf
+// when empty. Sampler-only: reads the heap root under the ring mutex.
+func (r *globalRing) minLB() float64 {
+	if r.size.Load() == 0 {
+		return math.Inf(1)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.items.Len() == 0 {
+		return math.Inf(1)
+	}
+	return r.items[0].LB
 }
 
 // get pops the most promising pooled node, or nil when the ring is empty.

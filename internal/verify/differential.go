@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"evotree/internal/matrix"
+	"evotree/internal/obs"
 )
 
 // DiffConfig tunes the differential harness.
@@ -26,6 +27,10 @@ type DiffConfig struct {
 	// MaxNodes caps each engine's search when positive. Truncated engines
 	// keep their invariant checks but skip cost-equality assertions.
 	MaxNodes int64
+	// Probe, when non-nil, receives every engine's telemetry events. The
+	// harness wires a flight recorder here so a differential failure
+	// carries the recorded history of the searches that produced it.
+	Probe obs.Probe
 }
 
 func (c DiffConfig) withDefaults() DiffConfig {
@@ -88,7 +93,7 @@ func Differential(m *matrix.Matrix, engines []Engine, cfg DiffConfig) *InstanceR
 
 	// Run the engines.
 	for _, e := range engines {
-		res, err := e.Run(m, cfg.MaxNodes)
+		res, err := e.Run(m, cfg.MaxNodes, cfg.Probe)
 		if err != nil {
 			res.Err = err
 			fail(e.Name, "run", "%v", err)
@@ -122,6 +127,10 @@ func Differential(m *matrix.Matrix, engines []Engine, cfg DiffConfig) *InstanceR
 			continue
 		}
 		for _, f := range CheckTree(m, res.Tree, res.Cost) {
+			f.Engine = e.Name
+			rep.Failures = append(rep.Failures, f)
+		}
+		for _, f := range CheckAccounting(res.Stats) {
 			f.Engine = e.Name
 			rep.Failures = append(rep.Failures, f)
 		}

@@ -10,6 +10,7 @@ import (
 	"evotree/internal/compact"
 	"evotree/internal/core"
 	"evotree/internal/matrix"
+	"evotree/internal/obs"
 	"evotree/internal/pbb"
 )
 
@@ -25,8 +26,11 @@ type Engine struct {
 	// additionally gets the compact-sets-appear-as-clades check.
 	Decomposition bool
 	// Run builds the tree. maxNodes > 0 caps the search (Optimal reports
-	// false on truncation).
-	Run func(m *matrix.Matrix, maxNodes int64) (EngineResult, error)
+	// false on truncation). probe, when non-nil, receives the engine's
+	// telemetry events — the harness attaches a flight recorder here so a
+	// differential failure ships the evidence of the search that produced
+	// it.
+	Run func(m *matrix.Matrix, maxNodes int64, probe obs.Probe) (EngineResult, error)
 }
 
 // engineByName builds the registry lazily so each entry captures its own
@@ -41,61 +45,67 @@ func engineByName(name string) (Engine, error) {
 	switch name {
 	case "bb", "bb33":
 		tt := name == "bb33"
-		return Engine{Name: name, Exact: !tt, Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
-			res, err := bb.Solve(m, bbOpt(maxNodes, tt))
+		return Engine{Name: name, Exact: !tt, Run: func(m *matrix.Matrix, maxNodes int64, probe obs.Probe) (EngineResult, error) {
+			opt := bbOpt(maxNodes, tt)
+			opt.Probe = probe
+			res, err := bb.Solve(m, opt)
 			if err != nil {
 				return EngineResult{Name: name}, err
 			}
-			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
+			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal, Stats: res.Stats}, nil
 		}}, nil
 	case "bestfirst":
-		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
+		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64, probe obs.Probe) (EngineResult, error) {
 			p, err := bb.NewProblem(m, true)
 			if err != nil {
 				return EngineResult{Name: name}, err
 			}
-			res := p.SolveBestFirst(bbOpt(maxNodes, false))
-			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
+			opt := bbOpt(maxNodes, false)
+			opt.Probe = probe
+			res := p.SolveBestFirst(opt)
+			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal, Stats: res.Stats}, nil
 		}}, nil
 	case "whole":
 		// The core pipeline with decomposition disabled — the paper's
 		// control condition; exact like the parallel engine it wraps.
-		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
-			opt := core.Options{Workers: 4, BB: bbOpt(maxNodes, false)}
+		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64, probe obs.Probe) (EngineResult, error) {
+			opt := core.Options{Workers: 4, BB: bbOpt(maxNodes, false), Probe: probe}
 			res, err := core.Construct(m, opt)
 			if err != nil {
 				return EngineResult{Name: name}, err
 			}
-			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
+			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal, Stats: res.Stats}, nil
 		}}, nil
 	case "compact", "compact33":
 		tt := name == "compact33"
-		return Engine{Name: name, Decomposition: true, Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
+		return Engine{Name: name, Decomposition: true, Run: func(m *matrix.Matrix, maxNodes int64, probe obs.Probe) (EngineResult, error) {
 			opt := core.Options{
 				UseCompactSets: true,
 				Reduction:      compact.Maximum,
 				Workers:        4,
 				BB:             bbOpt(maxNodes, tt),
+				Probe:          probe,
 			}
 			res, err := core.Construct(m, opt)
 			if err != nil {
 				return EngineResult{Name: name}, err
 			}
-			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
+			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal, Stats: res.Stats}, nil
 		}}, nil
 	}
 	// pbb<N> runs the parallel engine with N workers, for any N ≥ 1 — the
 	// differential harness sweeps the work-stealing scheduler at arbitrary
 	// concurrency levels (evocheck -workers).
 	if w, ok := parsePBBWorkers(name); ok {
-		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
+		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64, probe obs.Probe) (EngineResult, error) {
 			opt := pbb.DefaultOptions(w)
 			opt.MaxNodes = maxNodes
+			opt.Probe = probe
 			res, err := pbb.Solve(m, opt)
 			if err != nil {
 				return EngineResult{Name: name}, err
 			}
-			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal}, nil
+			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal, Stats: res.Stats}, nil
 		}}, nil
 	}
 	return Engine{}, fmt.Errorf("verify: unknown engine %q (want one of %s)", name, strings.Join(EngineNames(), ","))

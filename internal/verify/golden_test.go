@@ -89,7 +89,7 @@ func TestGoldenCorpus(t *testing.T) {
 		}
 
 		for _, e := range engines {
-			res, err := e.Run(m, 0)
+			res, err := e.Run(m, 0, nil)
 			if err != nil {
 				t.Errorf("%s/%s: %v", gc.file, e.Name, err)
 				continue

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"evotree/internal/matrix"
+	"evotree/internal/obs"
 )
 
 // Kinds are the instance families the harness cycles through — the
@@ -41,6 +42,11 @@ type Config struct {
 	// Metamorphic additionally runs the metamorphic property suite on the
 	// first exact engine for every instance (3 extra solves each).
 	Metamorphic bool
+	// FlightRecorder attaches a fresh obs.Recorder to every instance's
+	// engine runs; when the instance fails any property, the recorder's
+	// JSON dump rides along in FailedInstance.Flight — the event history
+	// of the searches that produced the bad result.
+	FlightRecorder bool
 	// Progress, when non-nil, is called after each instance with its
 	// report (failed or not).
 	Progress func(inst Instance, rep *InstanceReport)
@@ -63,6 +69,9 @@ type FailedInstance struct {
 	Instance Instance
 	Failures []Failure
 	Matrix   string // PHYLIP rendering, for direct reproduction
+	// Flight is the flight-recorder JSON dump of the instance's engine
+	// runs ("" unless Config.FlightRecorder was set).
+	Flight string
 }
 
 // Summary aggregates a harness run.
@@ -124,10 +133,18 @@ func Run(cfg Config) (*Summary, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep := Differential(m, cfg.Engines, diffCfg)
+		// A fresh recorder per instance keeps the dump scoped to exactly
+		// the searches that produced this instance's results.
+		dc := diffCfg
+		var rec *obs.Recorder
+		if cfg.FlightRecorder {
+			rec = obs.NewRecorder(16, 64)
+			dc.Probe = obs.Multi(diffCfg.Probe, rec)
+		}
+		rep := Differential(m, cfg.Engines, dc)
 		if cfg.Metamorphic && exact != nil {
 			rng := rand.New(rand.NewSource(inst.Seed ^ 0x5eed))
-			rep.Failures = append(rep.Failures, Metamorphic(m, *exact, rng, diffCfg.MaxNodes)...)
+			rep.Failures = append(rep.Failures, Metamorphic(m, *exact, rng, diffCfg.MaxNodes, dc.Probe)...)
 			sum.Metamorphic++
 		}
 		sum.Instances++
@@ -138,11 +155,15 @@ func Run(cfg Config) (*Summary, error) {
 			sum.OracleRuns++
 		}
 		if rep.Failed() {
-			sum.Failed = append(sum.Failed, FailedInstance{
+			fi := FailedInstance{
 				Instance: inst,
 				Failures: rep.Failures,
 				Matrix:   m.String(),
-			})
+			}
+			if rec != nil {
+				fi.Flight = rec.DumpJSON()
+			}
+			sum.Failed = append(sum.Failed, fi)
 		}
 		if cfg.Progress != nil {
 			cfg.Progress(inst, rep)

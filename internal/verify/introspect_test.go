@@ -1,0 +1,128 @@
+package verify
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"evotree/internal/bb"
+	"evotree/internal/compact"
+	"evotree/internal/core"
+	"evotree/internal/matrix"
+	"evotree/internal/obs"
+	"evotree/internal/pbb"
+)
+
+// countingProbe tallies the introspection events: GapSample count and
+// batched Prune nodes per rule. Safe for concurrent emission.
+type countingProbe struct {
+	mu         sync.Mutex
+	gaps       int
+	pruneNodes map[string]int64
+}
+
+func (p *countingProbe) Emit(ev obs.Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch ev.Kind {
+	case obs.GapSample:
+		p.gaps++
+	case obs.Prune:
+		if p.pruneNodes == nil {
+			p.pruneNodes = make(map[string]int64)
+		}
+		p.pruneNodes[ev.Phase] += ev.Nodes
+	}
+}
+
+// TestIntrospectionEventsAllEngines asserts the tentpole's acceptance
+// criterion directly: every engine — sequential DFS, best-first, the
+// parallel engine at 1/4/8 workers, and both core pipelines — emits
+// GapSample events (at least the initial and terminal samples) and
+// per-rule Prune batches whose node totals reconcile exactly with the
+// engine's own PruneStats.
+func TestIntrospectionEventsAllEngines(t *testing.T) {
+	m := matrix.Random0100(rand.New(rand.NewSource(11)), 9)
+	const gp = 50 * time.Microsecond
+	bbOpt := func(p obs.Probe) bb.Options {
+		o := bb.DefaultOptions()
+		o.Probe = p
+		o.GapPeriod = gp
+		return o
+	}
+	engines := []struct {
+		name string
+		run  func(p obs.Probe) bb.Stats
+	}{
+		{"sequential", func(p obs.Probe) bb.Stats {
+			res, err := bb.Solve(m, bbOpt(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Stats
+		}},
+		{"bestfirst", func(p obs.Probe) bb.Stats {
+			prob, err := bb.NewProblem(m, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return prob.SolveBestFirst(bbOpt(p)).Stats
+		}},
+		{"pbb1", pbbRun(t, m, 1, gp)},
+		{"pbb4", pbbRun(t, m, 4, gp)},
+		{"pbb8", pbbRun(t, m, 8, gp)},
+		{"core-whole", func(p obs.Probe) bb.Stats {
+			res, err := core.Construct(m, core.Options{Workers: 4, BB: bbOpt(nil), Probe: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Stats
+		}},
+		{"core-compact", func(p obs.Probe) bb.Stats {
+			res, err := core.Construct(m, core.Options{
+				UseCompactSets: true, Reduction: compact.Maximum,
+				Workers: 4, BB: bbOpt(nil), Probe: p,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Stats
+		}},
+	}
+	for _, e := range engines {
+		t.Run(e.name, func(t *testing.T) {
+			probe := &countingProbe{}
+			stats := e.run(probe)
+			if probe.gaps < 2 {
+				t.Errorf("saw %d GapSample events, want at least the initial and terminal samples", probe.gaps)
+			}
+			var emitted int64
+			for rule, n := range probe.pruneNodes {
+				if stats.Pruned.ByRule(rule) != n {
+					t.Errorf("rule %q: events say %d nodes, stats say %d", rule, n, stats.Pruned.ByRule(rule))
+				}
+				emitted += n
+			}
+			if total := stats.Pruned.Total(); emitted != total {
+				t.Errorf("Prune events carry %d nodes, stats total %d", emitted, total)
+			}
+			if emitted == 0 {
+				t.Error("no Prune events at all — instance too easy to exercise attribution")
+			}
+		})
+	}
+}
+
+func pbbRun(t *testing.T, m *matrix.Matrix, workers int, gp time.Duration) func(p obs.Probe) bb.Stats {
+	return func(p obs.Probe) bb.Stats {
+		opt := pbb.DefaultOptions(workers)
+		opt.Probe = p
+		opt.GapPeriod = gp
+		res, err := pbb.Solve(m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"evotree/internal/matrix"
+	"evotree/internal/obs"
 )
 
 // Metamorphic checks the metamorphic properties of an EXACT engine on m:
@@ -23,13 +24,13 @@ import (
 //
 // Heuristic engines carry no such guarantees (tie-breaking may flip under
 // relabeling), so callers should pass exact engines only.
-func Metamorphic(m *matrix.Matrix, e Engine, rng *rand.Rand, maxNodes int64) []Failure {
+func Metamorphic(m *matrix.Matrix, e Engine, rng *rand.Rand, maxNodes int64, probe obs.Probe) []Failure {
 	var fails []Failure
 	fail := func(prop, format string, args ...any) {
 		fails = append(fails, Failure{Engine: e.Name, Property: prop,
 			Detail: fmt.Sprintf(format, args...)})
 	}
-	base, err := e.Run(m, maxNodes)
+	base, err := e.Run(m, maxNodes, probe)
 	if err != nil {
 		fail("run", "%v", err)
 		return fails
@@ -42,7 +43,7 @@ func Metamorphic(m *matrix.Matrix, e Engine, rng *rand.Rand, maxNodes int64) []F
 
 	// Property 1: leaf-permutation invariance.
 	perm := rng.Perm(n)
-	if res, err := e.Run(m.Relabel(perm), maxNodes); err != nil {
+	if res, err := e.Run(m.Relabel(perm), maxNodes, probe); err != nil {
 		fail("permute", "relabeled solve failed: %v", err)
 	} else if res.Optimal && !costsAgree(res.Cost, base.Cost, tol) {
 		fail("permute", "optimum changed under relabeling %v: %g vs %g", perm, res.Cost, base.Cost)
@@ -50,7 +51,7 @@ func Metamorphic(m *matrix.Matrix, e Engine, rng *rand.Rand, maxNodes int64) []F
 
 	// Property 2: uniform scaling by a power of two.
 	factor := []float64{0.5, 2, 4}[rng.Intn(3)]
-	if res, err := e.Run(scaleMatrix(m, factor), maxNodes); err != nil {
+	if res, err := e.Run(scaleMatrix(m, factor), maxNodes, probe); err != nil {
 		fail("scale", "scaled solve failed: %v", err)
 	} else if res.Optimal && !costsAgree(res.Cost, factor*base.Cost, factor*tol) {
 		fail("scale", "optimum scaled by %g went %g → %g, want %g",
@@ -59,7 +60,7 @@ func Metamorphic(m *matrix.Matrix, e Engine, rng *rand.Rand, maxNodes int64) []F
 
 	// Property 3: duplicating a species.
 	dup := rng.Intn(n)
-	if res, err := e.Run(duplicateSpecies(m, dup), maxNodes); err != nil {
+	if res, err := e.Run(duplicateSpecies(m, dup), maxNodes, probe); err != nil {
 		fail("duplicate", "duplicated solve failed: %v", err)
 	} else if res.Optimal && !costsAgree(res.Cost, base.Cost, tol) {
 		fail("duplicate", "duplicating species %d changed the optimum: %g vs %g",

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"evotree/internal/matrix"
+	"evotree/internal/obs"
 )
 
 // TestMetamorphicExactEngines runs the three metamorphic properties on
@@ -29,7 +30,7 @@ func TestMetamorphicExactEngines(t *testing.T) {
 					t.Fatal(err)
 				}
 				rng := rand.New(rand.NewSource(seed * 31))
-				for _, f := range Metamorphic(m, e, rng, 0) {
+				for _, f := range Metamorphic(m, e, rng, 0, nil) {
 					t.Errorf("%s kind=%s seed=%d: %v\n%s", e.Name, kind, seed, f, m)
 				}
 			}
@@ -84,8 +85,8 @@ func TestMetamorphicCatchesBrokenEngine(t *testing.T) {
 	}
 	calls := 0
 	broken := Engine{Name: "broken", Exact: true,
-		Run: func(m *matrix.Matrix, maxNodes int64) (EngineResult, error) {
-			res, err := good.Run(m, maxNodes)
+		Run: func(m *matrix.Matrix, maxNodes int64, probe obs.Probe) (EngineResult, error) {
+			res, err := good.Run(m, maxNodes, nil)
 			calls++
 			if calls > 1 {
 				res.Cost += 1 // corrupt every run after the baseline
@@ -96,7 +97,7 @@ func TestMetamorphicCatchesBrokenEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fails := Metamorphic(m, broken, rand.New(rand.NewSource(1)), 0)
+	fails := Metamorphic(m, broken, rand.New(rand.NewSource(1)), 0, nil)
 	if len(fails) == 0 {
 		t.Fatal("metamorphic suite accepted a corrupted engine")
 	}

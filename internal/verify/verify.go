@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"math"
 
+	"evotree/internal/bb"
 	"evotree/internal/matrix"
 	"evotree/internal/tree"
 )
@@ -92,7 +93,42 @@ type EngineResult struct {
 	Cost    float64
 	Tree    *tree.Tree
 	Optimal bool // false when a node/time budget truncated the search
-	Err     error
+	// Stats carries the engine's aggregated search counters, so the
+	// harness can assert the node-accounting identity (see
+	// CheckAccounting) on top of the tree properties.
+	Stats bb.Stats
+	Err   error
+}
+
+// CheckAccounting verifies the search engines' node-accounting identity
+// on one engine's statistics:
+//
+//	Generated + Roots == Expanded + Pruned.Total() + Completed
+//
+// i.e. every node a search created (a generated child or a seeded root)
+// was consumed exactly once — expanded, attributed to exactly one prune
+// rule, or consumed as a complete topology. It also pins the
+// compatibility contract PrunedLB == Pruned.Bound + Pruned.Incumbent.
+// The identity holds for truncated searches too (abandoned nodes count
+// as budget prunes), so a missed or double-counted prune site in any
+// engine shows up here differentially.
+func CheckAccounting(s bb.Stats) []Failure {
+	var fails []Failure
+	if got, want := s.Generated+s.Roots, s.Expanded+s.Pruned.Total()+s.Completed; got != want {
+		fails = append(fails, Failure{Property: "prune-accounting", Detail: fmt.Sprintf(
+			"generated+roots = %d+%d = %d, but expanded+pruned+completed = %d+%d+%d = %d (per-rule: %+v)",
+			s.Generated, s.Roots, got, s.Expanded, s.Pruned.Total(), s.Completed, want, s.Pruned)})
+	}
+	if s.PrunedLB != s.Pruned.Bound+s.Pruned.Incumbent {
+		fails = append(fails, Failure{Property: "prune-split", Detail: fmt.Sprintf(
+			"PrunedLB %d != Pruned.Bound %d + Pruned.Incumbent %d",
+			s.PrunedLB, s.Pruned.Bound, s.Pruned.Incumbent)})
+	}
+	if s.PrunedIncumbent != s.Pruned.Incumbent {
+		fails = append(fails, Failure{Property: "prune-split", Detail: fmt.Sprintf(
+			"PrunedIncumbent %d != Pruned.Incumbent %d", s.PrunedIncumbent, s.Pruned.Incumbent)})
+	}
+	return fails
 }
 
 // InstanceReport is the outcome of running the differential harness on a

@@ -39,11 +39,17 @@ type Server struct {
 	// NewServer creates one; replace it to share a registry across
 	// components.
 	Registry *obs.Registry
+	// GapPeriod is the optimality-gap sampling interval wired into every
+	// search (GapSample events feed the SSE progress stream and the gap
+	// gauges). Zero disables sampling. Default 1s.
+	GapPeriod time.Duration
 
-	httpm  *obs.HTTPMetrics
-	search *obs.SearchMetrics
-	builds *obs.CounterVec
-	buildS *obs.HistogramVec
+	httpm    *obs.HTTPMetrics
+	search   *obs.SearchMetrics
+	builds   *obs.CounterVec
+	buildS   *obs.HistogramVec
+	recorder *obs.Recorder
+	bcast    *obs.Broadcaster
 }
 
 // NewServer returns a server with production defaults.
@@ -53,6 +59,7 @@ func NewServer() *Server {
 		MaxNodes:   500_000,
 		Workers:    4,
 		Registry:   obs.NewRegistry(),
+		GapPeriod:  time.Second,
 	}
 }
 
@@ -67,6 +74,11 @@ func (s *Server) Handler() http.Handler {
 		"Trees built, by algorithm.", "algorithm")
 	s.buildS = s.Registry.HistogramVec("evoweb_build_seconds",
 		"Wall-clock tree construction time, by algorithm.", nil, "algorithm")
+	// Flight recorder (GET /debug/search) and live event broadcaster
+	// (GET /api/events, SSE). Both are fed by every search probe; memory
+	// stays bounded at stripes × perStripe recorded events.
+	s.recorder = obs.NewRecorder(16, 256)
+	s.bcast = obs.NewBroadcaster()
 
 	mux := http.NewServeMux()
 	handle := func(pattern, route string, h http.HandlerFunc) {
@@ -77,6 +89,8 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	handle("POST /api/tree", "/api/tree", s.handleTree)
+	handle("GET /api/events", "/api/events", s.handleEvents)
+	handle("GET /debug/search", "/debug/search", s.handleDebugSearch)
 	mux.Handle("GET /metrics", s.httpm.Wrap("/metrics", s.Registry.Handler()))
 	return obs.AccessLog(s.Logger, mux)
 }
@@ -181,9 +195,20 @@ func (s *Server) Build(req *Request) (*Response, error) {
 	bbOpt := bb.DefaultOptions()
 	bbOpt.MaxNodes = s.MaxNodes
 	bbOpt.ThreeThree = req.ThreeThree
+	// Typed-nil pointers must not reach obs.Multi (a nil *Recorder inside
+	// a Probe interface is non-nil), so only live components are wired.
+	var probes []obs.Probe
 	if s.search != nil {
-		bbOpt.Probe = s.search
+		probes = append(probes, s.search)
 	}
+	if s.recorder != nil {
+		probes = append(probes, s.recorder)
+	}
+	if s.bcast != nil {
+		probes = append(probes, s.bcast)
+	}
+	bbOpt.Probe = obs.Multi(probes...)
+	bbOpt.GapPeriod = s.GapPeriod
 
 	resp := &Response{Species: m.Len(), Algorithm: algo, Complete: true}
 	start := time.Now()
@@ -252,6 +277,60 @@ func (s *Server) Build(req *Request) (*Response, error) {
 		s.buildS.With(algo).Observe(elapsed.Seconds())
 	}
 	return resp, nil
+}
+
+// handleDebugSearch serves the flight recorder's JSON dump: the last K
+// telemetry events of every recent search, ordered by arrival.
+func (s *Server) handleDebugSearch(w http.ResponseWriter, _ *http.Request) {
+	if s.recorder == nil {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("flight recorder not initialized"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.recorder.WriteJSON(w)
+}
+
+// handleEvents streams live search telemetry as Server-Sent Events. Each
+// event is one JSON object in the flight-recorder rendering; the event
+// name is the obs kind (gap_sample, ub_improved, ...). Only the
+// convergence signal is forwarded — pool/steal traffic would swamp a
+// browser. A slow client just misses events (the broadcaster drops rather
+// than stall a search).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	if s.bcast == nil {
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("event broadcaster not initialized"))
+		return
+	}
+	ch, cancel := s.bcast.Subscribe(256)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": connected\n\n")
+	fl.Flush()
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		case ev := <-ch:
+			switch ev.Kind {
+			case obs.ProblemStart, obs.SeedBound, obs.UBImproved, obs.GapSample,
+				obs.Prune, obs.ProblemFinish:
+				fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, obs.EventJSON(ev))
+				fl.Flush()
+			}
+		}
+	}
 }
 
 func (s *Server) inputMatrix(req *Request) (*matrix.Matrix, error) {
