@@ -1,9 +1,13 @@
 // Command evoweb serves the evolutionary-tree construction system over
 // HTTP — the project's "user-friendly web interface". It exposes a small
-// HTML form at /, a JSON API at POST /api/tree, Prometheus-format metrics
-// at GET /metrics, a live search-event stream (SSE) at GET /api/events, a
-// flight-recorder snapshot at GET /debug/search, and (with -pprof) the
-// net/http/pprof profiling endpoints under /debug/pprof/.
+// HTML form at /, a synchronous JSON API at POST /api/tree, an async job
+// API under /api/jobs (submit, poll, cancel, per-job SSE), Prometheus-
+// format metrics at GET /metrics, a live search-event stream (SSE) at
+// GET /api/events, a flight-recorder snapshot at GET /debug/search, and
+// (with -pprof) the net/http/pprof profiling endpoints under
+// /debug/pprof/. Every solve flows through a bounded worker pool behind
+// a permutation-invariant result cache; see -job-workers, -queue-depth,
+// -solve-timeout, -cache-size.
 //
 // Usage:
 //
@@ -46,15 +50,21 @@ func main() {
 
 // config holds the parsed command line.
 type config struct {
-	addr        string
-	maxSpecies  int
-	maxNodes    int64
-	workers     int
-	pprofOn     bool
-	logJSON     bool
-	quiet       bool
-	shutdownTmo time.Duration
-	gapPeriod   time.Duration
+	addr         string
+	maxSpecies   int
+	maxNodes     int64
+	workers      int
+	pprofOn      bool
+	logJSON      bool
+	quiet        bool
+	shutdownTmo  time.Duration
+	gapPeriod    time.Duration
+	maxBody      int64
+	solveTimeout time.Duration
+	queueDepth   int
+	jobWorkers   int
+	cacheSize    int
+	jobRetention int
 }
 
 func parseFlags(args []string, stderr io.Writer) (config, error) {
@@ -70,6 +80,12 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.BoolVar(&cfg.quiet, "no-access-log", false, "disable per-request access logging")
 	fs.DurationVar(&cfg.shutdownTmo, "shutdown-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	fs.DurationVar(&cfg.gapPeriod, "gap-period", time.Second, "optimality-gap sample period for /api/events and /debug/search (0 = off)")
+	fs.Int64Var(&cfg.maxBody, "max-body", 1<<20, "request body size limit in bytes (413 beyond)")
+	fs.DurationVar(&cfg.solveTimeout, "solve-timeout", 60*time.Second, "server-side deadline per admitted solve, queue wait included")
+	fs.IntVar(&cfg.queueDepth, "queue-depth", 64, "solve admission queue bound (429 when full)")
+	fs.IntVar(&cfg.jobWorkers, "job-workers", 4, "long-lived solver workers consuming the queue")
+	fs.IntVar(&cfg.cacheSize, "cache-size", 1024, "result cache entries (LRU)")
+	fs.IntVar(&cfg.jobRetention, "job-retention", 4096, "finished jobs kept pollable before eviction")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -78,6 +94,12 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if cfg.workers < 1 {
 		return cfg, fmt.Errorf("-workers must be at least 1")
+	}
+	if cfg.jobWorkers < 1 {
+		return cfg, fmt.Errorf("-job-workers must be at least 1")
+	}
+	if cfg.queueDepth < 1 {
+		return cfg, fmt.Errorf("-queue-depth must be at least 1")
 	}
 	return cfg, nil
 }
@@ -121,6 +143,13 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 	s.MaxNodes = cfg.maxNodes
 	s.Workers = cfg.workers
 	s.GapPeriod = cfg.gapPeriod
+	s.MaxBodyBytes = cfg.maxBody
+	s.SolveTimeout = cfg.solveTimeout
+	s.QueueDepth = cfg.queueDepth
+	s.JobWorkers = cfg.jobWorkers
+	s.CacheSize = cfg.cacheSize
+	s.JobRetention = cfg.jobRetention
+	defer s.Close()
 	if !cfg.quiet {
 		s.Logger = logger
 	}

@@ -18,7 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"grid-median", "grid-mean", "grid-worst", "grid24",
 		"ablation-maxmin", "ablation-ub", "ablation-pool",
 		"ablation-reduction", "ablation-33",
-		"accuracy", "scale", "ablation-search", "kernel", "scaling",
+		"accuracy", "scale", "ablation-search", "kernel", "scaling", "web",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

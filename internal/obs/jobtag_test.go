@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJobTagStampsEvents(t *testing.T) {
+	var got []Event
+	p := JobTag(ProbeFunc(func(ev Event) { got = append(got, ev) }), "t42")
+	p.Emit(Event{Kind: UBImproved, Value: 3})
+	p.Emit(Event{Kind: ProblemFinish})
+	if len(got) != 2 {
+		t.Fatalf("forwarded %d events, want 2", len(got))
+	}
+	for i, ev := range got {
+		if ev.Job != "t42" {
+			t.Errorf("event %d job = %q, want t42", i, ev.Job)
+		}
+	}
+	if got[0].Value != 3 || got[0].Kind != UBImproved {
+		t.Errorf("payload mangled: %+v", got[0])
+	}
+}
+
+func TestJobTagNilFastPath(t *testing.T) {
+	if JobTag(nil, "x") != nil {
+		t.Error("JobTag(nil) must stay nil")
+	}
+	inner := ProbeFunc(func(Event) {})
+	if p := JobTag(inner, ""); p == nil {
+		t.Error("empty tag must return the probe unchanged, not nil")
+	}
+}
+
+func TestEventJSONCarriesJob(t *testing.T) {
+	js := EventJSON(Event{Kind: GapSample, Job: "t7", Gap: 0.5})
+	if !strings.Contains(js, `"job":"t7"`) {
+		t.Fatalf("job missing from JSON: %s", js)
+	}
+	// Untagged events keep the old wire format (no empty job field).
+	js = EventJSON(Event{Kind: GapSample})
+	if strings.Contains(js, `"job"`) {
+		t.Fatalf("empty job serialized: %s", js)
+	}
+}

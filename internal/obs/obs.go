@@ -171,6 +171,11 @@ type Event struct {
 	N       int           // problem or subproblem size (species)
 	Phase   string        // phase name for PhaseStart/PhaseEnd; rule name for Prune
 	Elapsed time.Duration // since search start; phase/subproblem duration on *End/*Finish
+	// Job identifies the service job (solve) the event belongs to, when
+	// the emitting search runs on behalf of one — stamped by JobTag, empty
+	// for standalone searches. Consumers like evoweb's SSE stream filter
+	// on it so a client watches only its own job's telemetry.
+	Job string
 
 	// GapSample-only fields (zero elsewhere).
 	BestLB   float64 // best open lower bound (+Inf when the frontier is empty)
@@ -244,4 +249,24 @@ func (m multiProbe) Emit(ev Event) {
 	for _, p := range m {
 		p.Emit(ev)
 	}
+}
+
+// JobTag wraps p so every event it forwards carries the given job id in
+// Event.Job. A nil p or empty job returns p unchanged, preserving the
+// nil-probe fast path.
+func JobTag(p Probe, job string) Probe {
+	if p == nil || job == "" {
+		return p
+	}
+	return jobTagProbe{p: p, job: job}
+}
+
+type jobTagProbe struct {
+	p   Probe
+	job string
+}
+
+func (j jobTagProbe) Emit(ev Event) {
+	ev.Job = j.job
+	j.p.Emit(ev)
 }

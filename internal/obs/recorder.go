@@ -181,6 +181,9 @@ func (e *RecordedEvent) appendJSON(b *bytes.Buffer) {
 	if e.Phase != "" {
 		fmt.Fprintf(b, `,"phase":%q`, e.Phase)
 	}
+	if e.Job != "" {
+		fmt.Fprintf(b, `,"job":%q`, e.Job)
+	}
 	if e.Elapsed != 0 {
 		fmt.Fprintf(b, `,"elapsed_ms":%s`,
 			strconv.FormatFloat(float64(e.Elapsed.Microseconds())/1000, 'f', 3, 64))

@@ -1,0 +1,85 @@
+package web
+
+import (
+	"container/list"
+
+	"evotree/internal/tree"
+)
+
+// solveSpec is the option part of a cache key: two requests with equal
+// canonical matrices but different specs must not share results.
+type solveSpec struct {
+	algorithm  string
+	threeThree bool
+}
+
+// solveEntry is the cacheable outcome of one solve, expressed entirely in
+// canonical coordinates: the tree's leaf species ids and the compact-set
+// members are canonical row indices (positions in the matrix's canonical
+// permutation), never request-specific names. Rendering a Response for a
+// particular request clones the tree and applies that request's names in
+// canonical order, which is what makes one entry serve every relabeling
+// of the same matrix.
+type solveEntry struct {
+	algorithm string
+	cost      float64
+	tree      *tree.Tree // leaves = canonical rows; names are the solving request's and are overridden at render time
+	feasible  bool
+	// complete is false when a node budget (MaxNodes) truncated the
+	// search; the entry still carries the incumbent.
+	complete bool
+	// partial is true when the solve context ended (server deadline or
+	// abandoned request) before the search finished. Partial entries are
+	// returned to their waiters but never cached.
+	partial     bool
+	expanded    int64
+	compactSets [][]int // canonical row indices per detected compact set
+	solveMS     float64 // wall-clock of the original solve
+	species     int
+}
+
+// resultCache is a fixed-capacity LRU over solveEntry keyed by
+// fingerprint+spec. It is NOT self-locking: the owning solver serializes
+// access under its own mutex (get/put are always called with it held).
+type resultCache struct {
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheRecord struct {
+	key   string
+	entry *solveEntry
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{max: max, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (*solveEntry, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheRecord).entry, true
+}
+
+func (c *resultCache) put(key string, e *solveEntry) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheRecord).entry = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheRecord{key: key, entry: e})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		delete(c.entries, last.Value.(*cacheRecord).key)
+		c.order.Remove(last)
+	}
+}
+
+func (c *resultCache) len() int { return c.order.Len() }

@@ -1,0 +1,114 @@
+package web
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestBodyLimit413: a payload over MaxBodyBytes is rejected with 413 on
+// both the JSON and form paths.
+func TestBodyLimit413(t *testing.T) {
+	s := NewServer()
+	s.MaxBodyBytes = 256
+	h := s.Handler()
+	defer s.Close()
+
+	big, _ := json.Marshal(Request{Matrix: strings.Repeat("x", 1024)})
+	req := httptest.NewRequest("POST", "/api/tree", strings.NewReader(string(big)))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("JSON: status = %d, want 413: %s", rec.Code, rec.Body.String())
+	}
+
+	form := "matrix=" + strings.Repeat("9", 1024)
+	req = httptest.NewRequest("POST", "/api/tree", strings.NewReader(form))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("form: status = %d, want 413: %s", rec.Code, rec.Body.String())
+	}
+
+	// Under the limit still works.
+	small, _ := json.Marshal(Request{Matrix: sampleMatrix})
+	req = httptest.NewRequest("POST", "/api/tree", strings.NewReader(string(small)))
+	req.Header.Set("Content-Type", "application/json")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("small body: status = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestUnsupportedContentType415: unknown Content-Types are rejected with
+// a 415 naming the accepted types, instead of the old silent form-parse
+// fall-through that produced a baffling matrix error.
+func TestUnsupportedContentType415(t *testing.T) {
+	h := NewServer().Handler()
+	body, _ := json.Marshal(Request{Matrix: sampleMatrix})
+	for _, ct := range []string{"text/plain", "application/xml", ""} {
+		req := httptest.NewRequest("POST", "/api/tree", strings.NewReader(string(body)))
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusUnsupportedMediaType {
+			t.Fatalf("CT %q: status = %d, want 415: %s", ct, rec.Code, rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), "application/json") {
+			t.Fatalf("CT %q: error must name the accepted types: %s", ct, rec.Body.String())
+		}
+	}
+	// Parameters on an accepted type are fine.
+	req := httptest.NewRequest("POST", "/api/tree", strings.NewReader(string(body)))
+	req.Header.Set("Content-Type", "application/json; charset=utf-8")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("json with charset: status = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestHandlerIdempotent: calling Handler twice must return the same
+// wired-up pipeline — same broadcaster, same solver, no duplicate metric
+// registration — instead of silently orphaning the first recorder and its
+// SSE subscribers.
+func TestHandlerIdempotent(t *testing.T) {
+	s := NewServer()
+	h1 := s.Handler()
+	bcast1, solver1, rec1 := s.bcast, s.solver, s.recorder
+	h2 := s.Handler()
+	defer s.Close()
+	if s.bcast != bcast1 || s.solver != solver1 || s.recorder != rec1 {
+		t.Fatal("second Handler() call rebuilt the pipeline")
+	}
+
+	// Both returned handlers serve the same mux: a build through h2 is
+	// visible in metrics scraped through h1.
+	body, _ := json.Marshal(Request{Matrix: sampleMatrix, Algorithm: "bb"})
+	req := httptest.NewRequest("POST", "/api/tree", strings.NewReader(string(body)))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h2.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("build via h2: %d", rec.Code)
+	}
+	if got := metricValue(t, scrapeMetrics(t, h1), `evoweb_builds_total{algorithm="bb"}`); got != 1 {
+		t.Fatalf("builds counter = %v, want 1", got)
+	}
+
+	// The exposition must not contain duplicate metric families.
+	exp := scrapeMetrics(t, h1)
+	if n := strings.Count(exp, "# HELP evoweb_builds_total "); n != 1 {
+		t.Fatalf("evoweb_builds_total registered %d times", n)
+	}
+	if n := strings.Count(exp, "# HELP evoweb_cache_hits_total "); n != 1 {
+		t.Fatalf("evoweb_cache_hits_total registered %d times", n)
+	}
+}

@@ -1,0 +1,235 @@
+package web
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func submitJob(t *testing.T, srv *httptest.Server, body string) (id string) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/api/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status = %d, want 202", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["id"] == "" {
+		t.Fatalf("submit response missing id: %v", out)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/api/jobs/"+out["id"] {
+		t.Fatalf("Location = %q", loc)
+	}
+	return out["id"]
+}
+
+func pollJob(t *testing.T, srv *httptest.Server, id string) jobStatus {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/api/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll %s: status = %d", id, resp.StatusCode)
+	}
+	var st jobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitJob(t *testing.T, srv *httptest.Server, id string, states ...jobState) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := pollJob(t, srv, id)
+		for _, want := range states {
+			if st.State == want {
+				return st
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobLifecycle: submit → 202 with id → poll to done → result matches
+// the synchronous endpoint; a second identical job is served cached.
+func TestJobLifecycle(t *testing.T) {
+	s := NewServer()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	defer s.Close()
+
+	body := `{"matrix":` + jsonString(sampleMatrix) + `,"algorithm":"bb"}`
+	id := submitJob(t, srv, body)
+	st := waitJob(t, srv, id, jobDone)
+	if st.Result == nil || st.Result.Cost != 11 || !st.Result.Feasible {
+		t.Fatalf("job result = %+v", st.Result)
+	}
+	if st.Result.Newick == "" || !strings.Contains(st.Result.Newick, "a:") {
+		t.Fatalf("job tree missing: %+v", st.Result)
+	}
+
+	// Identical matrix again: immediately done, flagged cached.
+	id2 := submitJob(t, srv, body)
+	st2 := waitJob(t, srv, id2, jobDone)
+	if !st2.Result.Cached {
+		t.Fatalf("second job not served from cache: %+v", s.Stats())
+	}
+	if st2.Result.Cost != st.Result.Cost {
+		t.Fatalf("cached cost %v != %v", st2.Result.Cost, st.Result.Cost)
+	}
+
+	// Unknown ids are 404.
+	resp, err := http.Get(srv.URL + "/api/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobCancelStopsSearch: DELETE on the only job interested in a long
+// solve cancels the underlying search within 500ms.
+func TestJobCancelStopsSearch(t *testing.T) {
+	s := NewServer()
+	s.MaxNodes = 1 << 60
+	s.SolveTimeout = time.Hour
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	defer s.Close()
+
+	id := submitJob(t, srv, `{"matrix":`+jsonString(hardMatrix(t, 20))+`,"algorithm":"bb"}`)
+	if st, ok := waitStats(s, 5*time.Second, func(st SolverStats) bool { return st.Active == 1 }); !ok {
+		t.Fatalf("job solve never started: %+v", st)
+	}
+
+	req, _ := http.NewRequest("DELETE", srv.URL+"/api/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	canceled := time.Now()
+	if st, ok := waitStats(s, 500*time.Millisecond, func(st SolverStats) bool { return st.Active == 0 }); !ok {
+		t.Fatalf("search still running %v after job cancel: %+v", time.Since(canceled), st)
+	}
+	if st := waitJob(t, srv, id, jobCanceled, jobDone); st.State != jobCanceled && !st.Result.Partial {
+		// The solve may race to completion with the cancel; either the job
+		// is canceled or its result is flagged partial.
+		t.Fatalf("cancelled job state = %+v", st)
+	}
+}
+
+// TestJobEventsStream: the per-job SSE stream carries only the watched
+// job's telemetry and terminates when the job finishes.
+func TestJobEventsStream(t *testing.T) {
+	s := NewServer()
+	s.GapPeriod = time.Millisecond
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	defer s.Close()
+
+	// A modest search so the stream sees events but the test stays fast.
+	id := submitJob(t, srv, `{"matrix":`+jsonString(hardMatrix(t, 10))+`,"algorithm":"bb"}`)
+	resp, err := http.Get(srv.URL + "/api/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	st := waitJob(t, srv, id, jobDone)
+	if st.SolveID == "" {
+		t.Fatal("job status missing solve id")
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sawTerminal := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: {") && strings.Contains(line, `"job"`) {
+			var ev map[string]any
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad SSE payload: %v\n%s", err, line)
+			}
+			if job, _ := ev["job"].(string); job != st.SolveID {
+				t.Fatalf("foreign job %q leaked into stream for %q", job, st.SolveID)
+			}
+		}
+		if line == "event: problem_finish" || line == "event: job_done" {
+			sawTerminal = true
+			break
+		}
+	}
+	if !sawTerminal {
+		t.Fatal("stream ended without a terminal event")
+	}
+}
+
+// TestJobRetentionEvictsFinished: the store holds at most JobRetention
+// jobs; the oldest finished ones age out and poll as 404.
+func TestJobRetentionEvictsFinished(t *testing.T) {
+	s := NewServer()
+	s.JobRetention = 2
+	s.CacheSize = 1 // force distinct solves to actually run
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	defer s.Close()
+
+	var ids []string
+	for _, algo := range []string{"upgma", "upgmm", "bb"} {
+		id := submitJob(t, srv, `{"matrix":`+jsonString(sampleMatrix)+`,"algorithm":"`+algo+`"}`)
+		waitJob(t, srv, id, jobDone)
+		ids = append(ids, id)
+	}
+	// Submitting the third evicted the first (finished, oldest).
+	resp, err := http.Get(srv.URL + "/api/jobs/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job still pollable: %d", resp.StatusCode)
+	}
+	if st := pollJob(t, srv, ids[2]); st.State != jobDone {
+		t.Fatalf("latest job lost: %+v", st)
+	}
+}
+
+// TestJobSubmitRejectsBadInput: validation errors surface at submit time,
+// not as failed jobs.
+func TestJobSubmitRejectsBadInput(t *testing.T) {
+	s := NewServer()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	defer s.Close()
+	resp, err := http.Post(srv.URL+"/api/jobs", "application/json",
+		bytes.NewReader([]byte(`{"matrix":"garbage"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422", resp.StatusCode)
+	}
+}

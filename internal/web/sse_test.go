@@ -85,7 +85,7 @@ func TestEventsSSEStream(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := s.Build(&Request{Matrix: sampleMatrix, Algorithm: "bb"})
+		_, err := s.Build(context.Background(), &Request{Matrix: sampleMatrix, Algorithm: "bb"})
 		done <- err
 	}()
 

@@ -2,6 +2,7 @@ package web
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"log/slog"
 	"math/rand"
@@ -150,7 +151,7 @@ func TestMaxNodesMarksIncomplete(t *testing.T) {
 	s.MaxNodes = 1
 	// A uniform random metric needs far more than one expansion.
 	m := matrix.Random0100(rand.New(rand.NewSource(3)), 12).String()
-	resp, err := s.Build(&Request{Matrix: m, Algorithm: "bb"})
+	resp, err := s.Build(context.Background(), &Request{Matrix: m, Algorithm: "bb"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,16 +216,20 @@ func TestMetricsEndpoint(t *testing.T) {
 	if got := metricValue(t, body, `evoweb_request_seconds_count{route="/api/tree"}`); got != 3 {
 		t.Fatalf("latency histogram count = %v, want 3", got)
 	}
-	if got := metricValue(t, body, `evoweb_builds_total{algorithm="bb"}`); got != 2 {
-		t.Fatalf("builds counter = %v, want 2", got)
+	// The second identical request is a cache hit: only one search ran.
+	if got := metricValue(t, body, `evoweb_builds_total{algorithm="bb"}`); got != 1 {
+		t.Fatalf("builds counter = %v, want 1 (second request cached)", got)
+	}
+	if got := metricValue(t, body, "evoweb_cache_hits_total"); got != 1 {
+		t.Fatalf("cache hits = %v, want 1", got)
 	}
 	// The scrape itself is instrumented, so it sees itself in flight.
 	if got := metricValue(t, body, "evoweb_in_flight_requests"); got != 1 {
 		t.Fatalf("in-flight gauge = %v, want 1 (the scrape)", got)
 	}
-	// The search probe fed the registry: two bb solves started.
-	if got := metricValue(t, body, "evotree_searches_total"); got != 2 {
-		t.Fatalf("searches counter = %v, want 2", got)
+	// The search probe fed the registry: one bb solve started.
+	if got := metricValue(t, body, "evotree_searches_total"); got != 1 {
+		t.Fatalf("searches counter = %v, want 1", got)
 	}
 	// The /metrics scrape itself is instrumented on the next scrape.
 	body = scrapeMetrics(t, h)
