@@ -14,9 +14,15 @@
 //	compact  compact-set decomposition + branch-and-bound (the paper; default)
 //	bb       sequential exact branch-and-bound (Algorithm BBU)
 //	pbb      parallel exact branch-and-bound (master/slave over goroutines)
+//	dist     distributed exact branch-and-bound (coordinator/worker farm)
+//	distc    distributed compact-set decomposition farm
 //	upgma    average-linkage heuristic
 //	upgmm    maximum-linkage heuristic (always feasible)
 //	nj       neighbor joining (additive, not ultrametric)
+//
+// With -algo dist/distc the coordinator spawns -workers localhost worker
+// goroutines talking real HTTP by default; -dist-listen ADDR instead
+// serves the farm API on ADDR and waits for external evoworker processes.
 package main
 
 import (
@@ -25,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -33,6 +41,7 @@ import (
 	"evotree/internal/bootstrap"
 	"evotree/internal/compact"
 	"evotree/internal/core"
+	"evotree/internal/dist"
 	"evotree/internal/matrix"
 	"evotree/internal/nj"
 	"evotree/internal/obs"
@@ -52,8 +61,9 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("evotree", flag.ContinueOnError)
 	var (
-		algo      = fs.String("algo", "compact", "algorithm: compact|bb|pbb|upgma|upgmm|nj")
+		algo      = fs.String("algo", "compact", "algorithm: compact|bb|pbb|dist|distc|upgma|upgmm|nj")
 		workers   = fs.Int("workers", 4, "computing nodes for parallel runs")
+		distAddr  = fs.String("dist-listen", "", "with -algo dist/distc: serve the farm API on this address for external evoworker processes instead of spawning localhost workers")
 		threeT    = fs.Bool("33", false, "apply the 3-3 relationship at the third species")
 		threeTAll = fs.Bool("33all", false, "apply the generalized per-insertion 3-3 filter")
 		noMaxMin  = fs.Bool("no-maxmin", false, "disable the max-min species relabeling")
@@ -218,6 +228,35 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			printSearchSummary(stderr, res.Stats, res.Sched)
 		}
 		return printResult(stdout, m, res.Tree, res.Cost, res.Optimal, res.Stats, nil, *quiet, *showStats, *showSets, *ascii)
+	case "dist", "distc":
+		red, err := compact.ParseReduction(*reduction)
+		if err != nil {
+			return err
+		}
+		opt := dist.Options{
+			Workers:   *workers,
+			Decompose: strings.ToLower(*algo) == "distc",
+			Reduction: red,
+			BB:        bbOpt,
+		}
+		var res *dist.Result
+		if *distAddr != "" {
+			res, err = serveCoordinator(stderr, m, opt, *distAddr)
+		} else {
+			res, err = dist.Solve(m, opt)
+		}
+		if err != nil {
+			return err
+		}
+		if progressOn {
+			printSearchSummary(stderr, res.Stats, res.Sched)
+		}
+		if *showStats {
+			fmt.Fprintf(stdout, "# farm: units=%d done=%d dispatches=%d requeues=%d stale=%d broadcasts=%d workers=%d\n",
+				res.Farm.Units, res.Farm.Done, res.Farm.Dispatches, res.Farm.Requeues,
+				res.Farm.Stale, res.Farm.Broadcasts, len(res.Farm.Workers))
+		}
+		return printResult(stdout, m, res.Tree, res.Cost, res.Optimal, res.Stats, res.CompactSets, *quiet, *showStats, *showSets, *ascii)
 	case "compact":
 		red, err := compact.ParseReduction(*reduction)
 		if err != nil {
@@ -279,6 +318,32 @@ func printSearchSummary(w io.Writer, stats bb.Stats, sched pbb.SchedStats) {
 		sched.Steals, sched.Parks, sched.Donates,
 		stats.Pruned.Bound, stats.Pruned.Incumbent, stats.Pruned.ThreeThree,
 		stats.Pruned.Constraint, stats.Pruned.Budget)
+}
+
+// serveCoordinator runs the -dist-listen coordinator mode: it serves the
+// farm's HTTP API on addr, announces the join URL on stderr, and blocks
+// until external evoworker processes have drained every unit (or the
+// -timeout context cancels the farm).
+func serveCoordinator(stderr io.Writer, m *matrix.Matrix, opt dist.Options, addr string) (*dist.Result, error) {
+	c, err := dist.NewCoordinator(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(stderr, "dist coordinator: job %s, %d units, serving on http://%s\n",
+		c.Job(), c.Units(), ln.Addr())
+	fmt.Fprintf(stderr, "join with: evoworker -url http://%s\n", ln.Addr())
+	ctx := context.Background()
+	if opt.BB.Ctx != nil {
+		ctx = opt.BB.Ctx
+	}
+	return c.Wait(ctx)
 }
 
 // runBootstrap resamples the alignment and prints the reference tree with

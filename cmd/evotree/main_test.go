@@ -2,11 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
+
+	"evotree/internal/dist"
+	"evotree/internal/matrix"
 )
 
 const sample = `4
@@ -174,6 +183,104 @@ func TestTraceFlag(t *testing.T) {
 	}
 	if s := errOut.String(); !strings.Contains(s, "seed_bound") || strings.Contains(s, "worker_start") {
 		t.Errorf("-progress output wrong:\n%s", s)
+	}
+}
+
+func TestDistAlgo(t *testing.T) {
+	bbOut := runCLI(t, sample, "-algo", "bb", "-q")
+	for _, algo := range []string{"dist", "distc"} {
+		out := runCLI(t, sample, "-algo", algo, "-workers", "2", "-stats")
+		if !strings.Contains(out, ";") {
+			t.Fatalf("%s: no Newick:\n%s", algo, out)
+		}
+		if !strings.Contains(out, "search complete=true") {
+			t.Fatalf("%s: farm did not prove completeness:\n%s", algo, out)
+		}
+		if !strings.Contains(out, "# farm: units=") {
+			t.Fatalf("%s: missing farm stats line:\n%s", algo, out)
+		}
+		// Exact engines on an ultrametric instance agree on the tree.
+		if lines := strings.Split(strings.TrimSpace(out), "\n"); lines[len(lines)-1] != strings.TrimSpace(bbOut) {
+			t.Fatalf("%s tree %q != bb tree %q", algo, lines[len(lines)-1], strings.TrimSpace(bbOut))
+		}
+	}
+}
+
+// syncBuf is a mutex-guarded writer so the test can poll stderr while
+// run() is still writing to it from another goroutine.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestDistListenMode(t *testing.T) {
+	// Coordinator-only mode: evotree serves the farm API and blocks until
+	// an external worker (played here by dist.RunWorker against the
+	// announced URL) drains every unit. The 4-species sample would be
+	// solved during slicing and never serve a unit, so use a random
+	// instance big enough to leave real work on the queue.
+	m := matrix.Random0100(rand.New(rand.NewSource(43)), 10)
+	var in strings.Builder
+	fmt.Fprintf(&in, "%d\n", m.Len())
+	for i := 0; i < m.Len(); i++ {
+		in.WriteString(m.Name(i))
+		for j := 0; j < m.Len(); j++ {
+			fmt.Fprintf(&in, " %g", m.At(i, j))
+		}
+		in.WriteByte('\n')
+	}
+
+	var out bytes.Buffer
+	errBuf := &syncBuf{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-algo", "dist", "-dist-listen", "127.0.0.1:0"},
+			strings.NewReader(in.String()), &out, errBuf)
+	}()
+
+	urlRe := regexp.MustCompile(`join with: evoworker -url (http://\S+)`)
+	var url string
+	deadline := time.Now().Add(10 * time.Second)
+	for url == "" {
+		if m := urlRe.FindStringSubmatch(errBuf.String()); m != nil {
+			url = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("coordinator never announced its URL:\n%s", errBuf.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- dist.RunWorker(ctx, url, dist.WorkerOptions{Name: "ext", Poll: time.Millisecond})
+	}()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The coordinator exits as soon as the proof is in and takes its
+	// server with it; a still-polling worker is stopped by cancellation,
+	// exactly how solveFarm tears down its own worker goroutines.
+	cancel()
+	if err := <-workerDone; err != nil && err != context.Canceled {
+		t.Fatalf("external worker: %v", err)
+	}
+	if !strings.Contains(out.String(), "search complete=true") || !strings.Contains(out.String(), ";") {
+		t.Fatalf("listen-mode farm output wrong:\n%s", out.String())
 	}
 }
 

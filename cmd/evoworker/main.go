@@ -1,0 +1,65 @@
+// Command evoworker is the worker half of the distributed solve farm: it
+// joins a coordinator (evotree -dist-listen, or internal/dist.Solve's
+// loopback farm), leases work units over HTTP/JSON, solves them against
+// the shared incumbent bound, and reports results until the job is done.
+//
+// Usage:
+//
+//	evoworker -url http://host:port [-name w0] [-poll 50ms] [-throttle 0]
+//
+// The worker exits 0 when the coordinator reports the job finished or
+// gone (a restarted coordinator serves a fresh job id; stale workers are
+// told to go away with 410 and leave cleanly).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"time"
+
+	"evotree/internal/dist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "evoworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("evoworker", flag.ContinueOnError)
+	var (
+		url      = fs.String("url", "", "coordinator base URL (required), e.g. http://127.0.0.1:7777")
+		name     = fs.String("name", "", "worker name reported to the coordinator (default: host:pid)")
+		poll     = fs.Duration("poll", 50*time.Millisecond, "idle sleep between lease attempts")
+		throttle = fs.Duration("throttle", 0, "sleep per node expansion (testing/demo; 0 = full speed)")
+	)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	err := dist.RunWorker(ctx, *url, dist.WorkerOptions{
+		Name:      *name,
+		Poll:      *poll,
+		StepDelay: *throttle,
+	})
+	if err == context.Canceled {
+		return nil
+	}
+	return err
+}

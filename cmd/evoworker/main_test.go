@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"evotree/internal/bb"
+	"evotree/internal/dist"
+	"evotree/internal/matrix"
+)
+
+func TestFlagValidation(t *testing.T) {
+	if err := run(nil, io.Discard); err == nil || !strings.Contains(err.Error(), "-url") {
+		t.Fatalf("missing -url should fail, got %v", err)
+	}
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}
+
+// TestWorkerDrainsFarm runs the evoworker entrypoint against a live
+// coordinator and checks it drains the job and exits cleanly with the
+// proven optimum folded in.
+func TestWorkerDrainsFarm(t *testing.T) {
+	// Seed 43 leaves real units on the queue after slicing (a farm that
+	// solves during slicing would finish before the worker joins).
+	m := matrix.Random0100(rand.New(rand.NewSource(43)), 10)
+	seq, err := bb.Solve(m, bb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dist.NewCoordinator(m, dist.Options{Workers: 2, BB: bb.DefaultOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Units() == 0 {
+		t.Fatal("test premise broken: farm has no units")
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-url", srv.URL, "-name", "cli-worker", "-poll", "1ms"}, io.Discard)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := c.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("worker exit: %v", err)
+	}
+	if !res.Optimal || res.Cost != seq.Cost {
+		t.Fatalf("farm cost=%v optimal=%v, want sequential optimum %v", res.Cost, res.Optimal, seq.Cost)
+	}
+	var found bool
+	for _, w := range res.Farm.Workers {
+		if w.Name == "cli-worker" && w.Completed == int64(res.Farm.Units) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cli-worker should have completed all units: %+v", res.Farm.Workers)
+	}
+}

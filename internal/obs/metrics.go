@@ -347,6 +347,9 @@ type SearchMetrics struct {
 	steals      *Counter
 	parks       *Counter
 	subproblems *Counter
+	distLeases  *Counter
+	distRequeue *Counter
+	distStale   *Counter
 	pruned      *CounterVec
 	gap         *FloatGauge
 	bestLB      *FloatGauge
@@ -371,6 +374,9 @@ func NewSearchMetrics(reg *Registry) *SearchMetrics {
 		steals:      reg.Counter("evotree_steals_total", "Subproblems stolen from other workers' deques."),
 		parks:       reg.Counter("evotree_worker_parks_total", "Times a worker parked after an empty spin-and-steal round."),
 		subproblems: reg.Counter("evotree_subproblems_total", "Reduced matrices solved by the decomposition pipeline."),
+		distLeases:  reg.Counter("evotree_dist_leases_total", "Work-unit leases granted by the distributed coordinator."),
+		distRequeue: reg.Counter("evotree_dist_requeues_total", "Expired leases returned to the distributed work queue."),
+		distStale:   reg.Counter("evotree_dist_stale_results_total", "Worker results rejected because their lease was no longer current."),
 		pruned:      reg.CounterVec("evotree_pruned_total", "Search nodes discarded, by pruning rule.", "rule"),
 		gap:         reg.FloatGauge("evotree_search_gap_ratio", "Relative optimality gap of the most recent GapSample (incumbent vs best open LB)."),
 		bestLB:      reg.FloatGauge("evotree_search_best_open_lb", "Best open lower bound of the most recent GapSample (0 when the frontier is empty)."),
@@ -409,6 +415,12 @@ func (m *SearchMetrics) Emit(ev Event) {
 	case SubproblemFinish:
 		m.subproblems.Inc()
 		m.subSec.Observe(ev.Elapsed.Seconds())
+	case Dispatch:
+		m.distLeases.Inc()
+	case Requeue:
+		m.distRequeue.Inc()
+	case StaleResult:
+		m.distStale.Inc()
 	case Prune:
 		m.pruned.With(ev.Phase).Add(ev.Nodes)
 	case GapSample:

@@ -89,6 +89,19 @@ const (
 	// parallel workers once per worker, so the prune hot path never calls
 	// the probe.
 	Prune
+	// Dispatch: the distributed coordinator leased a work unit to a
+	// worker. Worker carries the worker's numeric id, Nodes the unit id.
+	Dispatch
+	// Requeue: a lease deadline expired and the coordinator returned the
+	// unit to the queue. Worker is the holder whose lease lapsed, Nodes
+	// the unit id.
+	Requeue
+	// StaleResult: the coordinator rejected a result whose lease was no
+	// longer current (expired, superseded, or a duplicate). The unit is
+	// not double-counted; any solution it carried is still offered to the
+	// incumbent. Worker is the sender, Nodes the unit id.
+	StaleResult
+
 	// GapSample is a periodic convergence snapshot: Value carries the
 	// incumbent upper bound, BestLB the best (estimated) open lower
 	// bound, Gap their relative gap, Rate the expansion throughput in
@@ -149,6 +162,9 @@ var kindNames = [...]string{
 	SubproblemStart:  "subproblem_start",
 	SubproblemFinish: "subproblem_finish",
 	Prune:            "prune",
+	Dispatch:         "dispatch",
+	Requeue:          "requeue",
+	StaleResult:      "stale_result",
 	GapSample:        "gap_sample",
 }
 

@@ -31,7 +31,11 @@ func (t *Tracer) Emit(ev Event) {
 	level := slog.LevelDebug
 	switch ev.Kind {
 	case ProblemStart, SeedBound, UBImproved, ProblemFinish,
-		PhaseStart, PhaseEnd, SubproblemStart, SubproblemFinish, GapSample:
+		PhaseStart, PhaseEnd, SubproblemStart, SubproblemFinish, GapSample,
+		Requeue, StaleResult:
+		// Lease requeues and stale-result rejections are rare fault-path
+		// events worth surfacing alongside the convergence trace; the
+		// per-lease Dispatch traffic stays at Debug with the pool noise.
 		level = slog.LevelInfo
 	}
 	if !t.l.Enabled(context.Background(), level) {
@@ -75,6 +79,11 @@ func (t *Tracer) Emit(ev Event) {
 		attrs = append(attrs,
 			slog.String("rule", ev.Phase),
 			slog.Int64("nodes", ev.Nodes),
+			slog.Int("worker", ev.Worker),
+			slog.Duration("elapsed", ev.Elapsed))
+	case Dispatch, Requeue, StaleResult:
+		attrs = append(attrs,
+			slog.Int64("unit", ev.Nodes),
 			slog.Int("worker", ev.Worker),
 			slog.Duration("elapsed", ev.Elapsed))
 	default: // pool and worker lifecycle traffic

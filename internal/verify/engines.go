@@ -9,6 +9,7 @@ import (
 	"evotree/internal/bb"
 	"evotree/internal/compact"
 	"evotree/internal/core"
+	"evotree/internal/dist"
 	"evotree/internal/matrix"
 	"evotree/internal/obs"
 	"evotree/internal/pbb"
@@ -93,10 +94,21 @@ func engineByName(name string) (Engine, error) {
 			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal, Stats: res.Stats}, nil
 		}}, nil
 	}
+	// dist<N> runs the distributed farm with N worker goroutines over a
+	// real loopback HTTP transport: an exact engine, so the differential
+	// harness proves lease dispatch, bound broadcast, and result folding
+	// preserve the optimum. distc<N> is its decompose-mode sibling (the
+	// compact-set path, checked like "compact").
+	if w, ok := parseWorkers(name, "dist"); ok {
+		return Engine{Name: name, Exact: true, Run: distRun(name, w, false)}, nil
+	}
+	if w, ok := parseWorkers(name, "distc"); ok {
+		return Engine{Name: name, Decomposition: true, Run: distRun(name, w, true)}, nil
+	}
 	// pbb<N> runs the parallel engine with N workers, for any N ≥ 1 — the
 	// differential harness sweeps the work-stealing scheduler at arbitrary
 	// concurrency levels (evocheck -workers).
-	if w, ok := parsePBBWorkers(name); ok {
+	if w, ok := parseWorkers(name, "pbb"); ok {
 		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64, probe obs.Probe) (EngineResult, error) {
 			opt := pbb.DefaultOptions(w)
 			opt.MaxNodes = maxNodes
@@ -111,10 +123,25 @@ func engineByName(name string) (Engine, error) {
 	return Engine{}, fmt.Errorf("verify: unknown engine %q (want one of %s)", name, strings.Join(EngineNames(), ","))
 }
 
-// parsePBBWorkers recognizes a "pbb<N>" engine name and returns its worker
-// count.
-func parsePBBWorkers(name string) (int, bool) {
-	s, ok := strings.CutPrefix(name, "pbb")
+// distRun wraps the distributed farm as an engine Run func.
+func distRun(name string, workers int, decompose bool) func(*matrix.Matrix, int64, obs.Probe) (EngineResult, error) {
+	return func(m *matrix.Matrix, maxNodes int64, probe obs.Probe) (EngineResult, error) {
+		opt := dist.Options{Workers: workers, Decompose: decompose, Reduction: compact.Maximum}
+		opt.BB = bb.DefaultOptions()
+		opt.BB.MaxNodes = maxNodes
+		opt.BB.Probe = probe
+		res, err := dist.Solve(m, opt)
+		if err != nil {
+			return EngineResult{Name: name}, err
+		}
+		return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal, Stats: res.Stats}, nil
+	}
+}
+
+// parseWorkers recognizes a "<prefix><N>" engine name (pbb4, dist3,
+// distc2, ...) and returns its worker count.
+func parseWorkers(name, prefix string) (int, bool) {
+	s, ok := strings.CutPrefix(name, prefix)
 	if !ok || s == "" {
 		return 0, false
 	}
@@ -131,8 +158,10 @@ func PBBEngineName(workers int) string {
 	return fmt.Sprintf("pbb%d", workers)
 }
 
-// EngineNames lists the standard engine names, sorted. Any "pbb<N>" with
-// N ≥ 1 is additionally accepted by ParseEngines for concurrency sweeps.
+// EngineNames lists the standard engine names, sorted. Any "pbb<N>"
+// (in-process parallel), "dist<N>" (loopback HTTP farm, exact) or
+// "distc<N>" (farm + compact-set decomposition) with N ≥ 1 is
+// additionally accepted by ParseEngines for concurrency sweeps.
 func EngineNames() []string {
 	names := []string{"bb", "bb33", "bestfirst", "pbb1", "pbb4", "pbb8", "whole", "compact", "compact33"}
 	sort.Strings(names)
