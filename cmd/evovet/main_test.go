@@ -1,0 +1,183 @@
+package main_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles evovet into a temp dir and returns the binary path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "evovet")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building evovet: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// TestVetToolCleanOnTree runs the suite through the real `go vet
+// -vettool` protocol over the whole module, test variants included: the
+// tree must be clean.
+func TestVetToolCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and vets the whole module")
+	}
+	exe := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+exe, "./...")
+	cmd.Dir = filepath.Join("..", "..")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet -vettool=evovet ./... failed: %v\n%s", err, out)
+	}
+}
+
+// scratchModule writes a throwaway module named evotree (so the
+// analyzers' import-path matching applies) with the given extra file.
+func scratchModule(t *testing.T, relPath, content string) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, body string) {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module evotree\n\ngo 1.22\n")
+	write("internal/bb/bb.go", `package bb
+
+import "context"
+
+type Options struct {
+	Ctx      context.Context
+	MaxNodes int64
+}
+`)
+	write(relPath, content)
+	return dir
+}
+
+// vetModule runs evovet over the scratch module via go vet and returns
+// the combined output and whether vet failed.
+func vetModule(t *testing.T, exe, dir string) (string, bool) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+exe, "./...")
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err != nil
+}
+
+// TestVetToolFlagsSeededViolation reconstructs the unthreaded-context
+// bug in a scratch module and checks that the vet-tool path reports it.
+func TestVetToolFlagsSeededViolation(t *testing.T) {
+	exe := buildTool(t)
+	dir := scratchModule(t, "internal/web/build.go", `package web
+
+import (
+	"context"
+
+	"evotree/internal/bb"
+)
+
+func Build(ctx context.Context, n int) bb.Options {
+	opt := bb.Options{MaxNodes: int64(n)}
+	return opt
+}
+`)
+	out, failed := vetModule(t, exe, dir)
+	if !failed {
+		t.Fatalf("go vet succeeded on a seeded ctxthread violation\n%s", out)
+	}
+	if !strings.Contains(out, "ctxthread") || !strings.Contains(out, "without threading") {
+		t.Fatalf("expected a ctxthread finding, got:\n%s", out)
+	}
+}
+
+// TestVetToolRejectsUndocumentedSuppression proves the satellite
+// contract end to end: a //evovet:ignore with no reason fails the build
+// and the suppressed finding stays visible.
+func TestVetToolRejectsUndocumentedSuppression(t *testing.T) {
+	exe := buildTool(t)
+	dir := scratchModule(t, "internal/web/build.go", `package web
+
+import (
+	"context"
+
+	"evotree/internal/bb"
+)
+
+func Build(ctx context.Context, n int) bb.Options {
+	//evovet:ignore ctxthread
+	return bb.Options{MaxNodes: int64(n)}
+}
+`)
+	out, failed := vetModule(t, exe, dir)
+	if !failed {
+		t.Fatalf("go vet succeeded despite an unjustified suppression\n%s", out)
+	}
+	if !strings.Contains(out, "no justification") {
+		t.Fatalf("expected the directive to be reported, got:\n%s", out)
+	}
+	if !strings.Contains(out, "without threading") {
+		t.Fatalf("expected the original finding to stay visible, got:\n%s", out)
+	}
+
+	// With a documented justification the same module is clean.
+	good := `package web
+
+import (
+	"context"
+
+	"evotree/internal/bb"
+)
+
+func Build(ctx context.Context, n int) bb.Options {
+	//evovet:ignore ctxthread the caller threads the context after merging defaults
+	return bb.Options{MaxNodes: int64(n)}
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "internal", "web", "build.go"), []byte(good), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	out, failed = vetModule(t, exe, dir)
+	if failed {
+		t.Fatalf("go vet failed on a justified suppression:\n%s", out)
+	}
+}
+
+// TestStandaloneMode runs the binary directly (no go vet) over a
+// scratch module.
+func TestStandaloneMode(t *testing.T) {
+	exe := buildTool(t)
+	dir := scratchModule(t, "internal/web/build.go", `package web
+
+import (
+	"context"
+
+	"evotree/internal/bb"
+)
+
+func Build(ctx context.Context, n int) bb.Options {
+	return bb.Options{MaxNodes: int64(n)}
+}
+`)
+	cmd := exec.Command(exe, "-C", dir, "./...")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("standalone evovet succeeded on a seeded violation\n%s", out)
+	}
+	if !strings.Contains(string(out), "ctxthread") {
+		t.Fatalf("expected a ctxthread finding, got:\n%s", out)
+	}
+}

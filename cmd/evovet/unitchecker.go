@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"evotree/internal/analysis"
+)
+
+// vetConfig is the JSON configuration cmd/go writes for each package
+// when invoking a -vettool (the x/tools unitchecker protocol). Fields
+// the suite does not need are accepted and ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoreFiles               []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheckerMain analyzes the single package described by cfgPath and
+// returns the process exit code: 0 clean, 2 findings, 3 protocol error.
+func unitcheckerMain(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evovet:", err)
+		return 3
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "evovet: parsing %s: %v\n", cfgPath, err)
+		return 3
+	}
+
+	// cmd/go requires the facts file to exist even though this suite
+	// exports no facts (every analyzer is package-local by design).
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "evovet:", err)
+			return 3
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: cmd/go only wants facts, which we don't have.
+		return 0
+	}
+
+	pkg, err := typecheckUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "evovet:", err)
+		return 3
+	}
+
+	diags, err := analysis.Check(pkg, analysis.Suite())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evovet:", err)
+		return 3
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "# %s\n", cfg.ImportPath)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return 2
+}
+
+// typecheckUnit parses and type-checks the unit's Go files, resolving
+// imports through the export files cmd/go listed in the config.
+func typecheckUnit(cfg *vetConfig) (*analysis.Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, toolCompiler(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg := &analysis.Package{Path: cfg.ImportPath, Fset: fset}
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", cfg.ImportPath, err)
+	}
+	pkg.Pkg = tpkg
+	return pkg, nil
+}
+
+// toolCompiler normalizes the config's compiler name for
+// importer.ForCompiler ("gc" or "gccgo"; cmd/go sends "gc").
+func toolCompiler(name string) string {
+	if name == "" {
+		return "gc"
+	}
+	return name
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix reports struct fields that are accessed through the
+// sync/atomic functions in some places and plainly in others — the
+// classic torn-counter bug: a field like `nodes int64` bumped with
+// atomic.AddInt64 on the hot path but read with `s.nodes` in a stats
+// snapshot races, and the race detector only catches it when both sides
+// run under -race at the same moment. It also reports 64-bit fields used
+// with the atomic functions whose offset is not 8-byte aligned under
+// 32-bit layout rules (the pre-Go-1.19 crash class that the typed
+// atomic.Int64/Uint64 — which the engines use — rule out by
+// construction).
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must never be accessed plainly, and 64-bit atomic fields must be alignment-safe",
+	Run:  runAtomicMix,
+}
+
+// atomic64Funcs maps the sync/atomic function names that operate on
+// 64-bit values; the bool is true for those (alignment-sensitive).
+var atomicFuncWidth = map[string]bool{
+	"LoadInt64": true, "StoreInt64": true, "AddInt64": true, "SwapInt64": true, "CompareAndSwapInt64": true,
+	"LoadUint64": true, "StoreUint64": true, "AddUint64": true, "SwapUint64": true, "CompareAndSwapUint64": true,
+	"LoadInt32": false, "StoreInt32": false, "AddInt32": false, "SwapInt32": false, "CompareAndSwapInt32": false,
+	"LoadUint32": false, "StoreUint32": false, "AddUint32": false, "SwapUint32": false, "CompareAndSwapUint32": false,
+	"LoadUintptr": false, "StoreUintptr": false, "AddUintptr": false, "SwapUintptr": false, "CompareAndSwapUintptr": false,
+	"LoadPointer": false, "StorePointer": false, "SwapPointer": false, "CompareAndSwapPointer": false,
+}
+
+// sizes32 computes layouts under the strictest supported rules: 32-bit
+// targets are where misaligned 64-bit atomics fault.
+var sizes32 = types.SizesFor("gc", "386")
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: find old-style atomic calls on struct fields. atomicFields
+	// maps the field object to the atomic function that blessed it;
+	// atomicArgs records the selector nodes consumed by those calls so
+	// pass 2 does not flag the atomic sites themselves.
+	atomicFields := make(map[types.Object]string)
+	atomicArgs := make(map[ast.Node]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := atomicCallName(pass, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, field := fieldAddrArg(pass, call.Args[0])
+			if field == nil {
+				return true
+			}
+			atomicArgs[sel] = true
+			if _, seen := atomicFields[field]; !seen {
+				atomicFields[field] = name
+				if atomicFuncWidth[name] {
+					checkAtomicAlignment(pass, call, sel, field)
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selector reaching a blessed field is a mixed
+	// access. Taking the address again (&s.f passed somewhere else) is
+	// flagged too: even if the callee uses atomics, the escape makes the
+	// discipline unverifiable at this call site.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicArgs[sel] {
+				return true
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			field := s.Obj()
+			fn, seen := atomicFields[field]
+			if !seen {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to field %s, which is accessed with atomic.%s elsewhere in this package: every access must go through sync/atomic (or migrate the field to a typed atomic.Int64/Uint64)",
+				field.Name(), fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// atomicCallName matches calls to the old-style sync/atomic functions
+// and returns the function name.
+func atomicCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "sync/atomic" {
+		return "", false
+	}
+	if _, known := atomicFuncWidth[sel.Sel.Name]; !known {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// fieldAddrArg matches an argument of the shape &x.f (possibly through
+// an unsafe.Pointer conversion for the Pointer variants) and returns the
+// selector and the field object.
+func fieldAddrArg(pass *Pass, arg ast.Expr) (*ast.SelectorExpr, types.Object) {
+	for {
+		switch a := arg.(type) {
+		case *ast.ParenExpr:
+			arg = a.X
+			continue
+		case *ast.CallExpr: // conversion wrapper, e.g. (*unsafe.Pointer)(&s.f)
+			if len(a.Args) == 1 {
+				arg = a.Args[0]
+				continue
+			}
+		}
+		break
+	}
+	ue, ok := arg.(*ast.UnaryExpr)
+	if !ok {
+		return nil, nil
+	}
+	sel, ok := ue.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	return sel, s.Obj()
+}
+
+// checkAtomicAlignment verifies that a field used with a 64-bit atomic
+// function sits at an 8-byte-aligned offset under 32-bit layout. Only
+// the offset within the innermost struct plus any directly embedded
+// value structs along the selection path is computable statically; a
+// pointer hop resets alignment to the allocator's guarantee for the
+// *first* word only, so any nonzero misaligned offset after the last
+// indirection is reported.
+func checkAtomicAlignment(pass *Pass, call *ast.CallExpr, sel *ast.SelectorExpr, field types.Object) {
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || sizes32 == nil {
+		return
+	}
+	recv := s.Recv()
+	if p, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	offset, ok := selectionOffset32(recv, s.Index())
+	if !ok {
+		return
+	}
+	if offset%8 != 0 {
+		pass.Reportf(call.Pos(),
+			"atomic 64-bit access to field %s at 32-bit offset %d: not 8-byte aligned on 386/arm — move it to the front of the struct or use atomic.Int64/Uint64 (alignment-guaranteed since Go 1.19)",
+			field.Name(), offset)
+	}
+}
+
+// selectionOffset32 accumulates the byte offset of the field reached by
+// index (a types.Selection index chain) from the start of struct type t,
+// under 32-bit sizes. ok=false when the chain crosses a pointer (offset
+// no longer meaningful) or a non-struct.
+func selectionOffset32(t types.Type, index []int) (int64, bool) {
+	var offset int64
+	for _, i := range index {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for j := 0; j < st.NumFields(); j++ {
+			fields[j] = st.Field(j)
+		}
+		offs := sizes32.Offsetsof(fields)
+		offset += offs[i]
+		t = st.Field(i).Type()
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return 0, false
+		}
+	}
+	return offset, true
+}

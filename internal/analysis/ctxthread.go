@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxThread reports functions that receive a context.Context (directly,
+// or through an *http.Request) and construct bb.Options/pbb.Options
+// without threading a context into the options' Ctx field. This is the
+// PR 7 tentpole bug class: evoweb's Build constructed bb.Options from a
+// request without assigning the request context, so abandoned searches
+// ran to the node cap instead of stopping when the client hung up.
+//
+// "Threaded" is judged syntactically within the function: the composite
+// literal sets Ctx (any context expression counts — an explicit
+// context.Background() documents intentional detachment), the options
+// value is later assigned a .Ctx (including the promoted bb.Options.Ctx
+// of pbb.Options and nested fields like cfg.BB.Ctx), or the literal is
+// built from another options value that was itself threaded.
+var CtxThread = &Analyzer{
+	Name: "ctxthread",
+	Doc:  "bb/pbb Options built in a context-bearing function must carry the context",
+	Run:  runCtxThread,
+}
+
+// optionsTypes are the searchable option structs with a Ctx field, as
+// pkgpath/name pairs.
+var optionsTypes = map[[2]string]bool{
+	{"evotree/internal/bb", "Options"}:  true,
+	{"evotree/internal/pbb", "Options"}: true,
+}
+
+func isOptionsType(t types.Type) bool {
+	for key := range optionsTypes {
+		if isNamed(t, key[0], key[1]) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxConstruction is one construction of an options value inside a
+// context-bearing function.
+type ctxConstruction struct {
+	node ast.Node // the literal or call, for reporting
+	base string   // dotted path of the variable/field it initializes, "" if anonymous
+	what string   // type name for the report
+	// threaded is resolved iteratively: literals with a Ctx key start
+	// true; assignments to <base>...Ctx or literals referencing an
+	// already-threaded construction flip it.
+	threaded bool
+}
+
+func runCtxThread(pass *Pass) error {
+	// The options-defining packages construct their own zero options
+	// (DefaultOptions etc.) and are exempt by construction: they have no
+	// context to thread.
+	for key := range optionsTypes {
+		if pkgPath(pass.Pkg) == key[0] {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			if !hasCtxParam(pass, fd.Type.Params) {
+				// Nested FuncLits with their own ctx param are rare and
+				// handled as part of the enclosing region only; a
+				// closure receiving a context while its parent does not
+				// is not an idiom this codebase uses.
+				return true
+			}
+			checkCtxRegion(pass, fd)
+			return false
+		})
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the parameter list carries a
+// context.Context or an *http.Request.
+func hasCtxParam(pass *Pass, params *ast.FieldList) bool {
+	if params == nil {
+		return false
+	}
+	for _, fld := range params.List {
+		t := pass.TypesInfo.TypeOf(fld.Type)
+		if t == nil {
+			continue
+		}
+		if isNamed(t, "context", "Context") {
+			return true
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok && isNamed(p.Elem(), "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxRegion analyzes one context-bearing function body.
+func checkCtxRegion(pass *Pass, fd *ast.FuncDecl) {
+	var cons []*ctxConstruction
+	// threadedPaths collects every lvalue path whose .Ctx was assigned
+	// somewhere in the region: "opt" for opt.Ctx = ..., "cfg.BB" for
+	// cfg.BB.Ctx = ... (promoted or nested paths keep their full prefix:
+	// "po" for po.Ctx on an embedding pbb.Options, "opt.Options" for the
+	// explicit spelling).
+	threadedPaths := make(map[string]bool)
+
+	record := func(node ast.Node, base string, t types.Type) {
+		name := "options"
+		if n, ok := types.Unalias(t).(*types.Named); ok {
+			name = n.Obj().Pkg().Name() + "." + n.Obj().Name()
+		}
+		cons = append(cons, &ctxConstruction{node: node, base: base, what: name})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				base := pathString(lhs)
+				if base == "" {
+					continue
+				}
+				// opt.Ctx = ..., cfg.BB.Ctx = ...: thread the prefix.
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Ctx" {
+					if prefix := pathString(sel.X); prefix != "" {
+						threadedPaths[prefix] = true
+					}
+				}
+				// opt := bb.DefaultOptions(), cfg.BB = bb.DefaultOptions(),
+				// opt := bb.Options{...}: a construction bound to base.
+				rhs := n.Rhs[i]
+				t := pass.TypesInfo.TypeOf(rhs)
+				if t != nil && isOptionsType(t) && isConstructionExpr(pass, rhs) {
+					record(rhs, base, t)
+				}
+			}
+			return true
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t != nil && isOptionsType(t) {
+				if !boundToAssign(fd.Body, n) {
+					// Anonymous literal used in place (argument, nested
+					// field, return value).
+					record(n, "", t)
+				}
+				return true
+			}
+		}
+		return true
+	})
+
+	// Resolve threading to a fixpoint: a construction is threaded when
+	// its literal carries Ctx, its base path was assigned a .Ctx, or its
+	// literal absorbs another options value that is itself threaded.
+	for pass := 0; pass < len(cons)+2; pass++ {
+		changed := false
+		for _, c := range cons {
+			if c.threaded {
+				continue
+			}
+			if c.base != "" && threadedPaths[c.base] {
+				c.threaded = true
+				changed = true
+				continue
+			}
+			if lit, ok := c.node.(*ast.CompositeLit); ok && litThreadsCtx(lit, cons, threadedPaths) {
+				c.threaded = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for _, c := range cons {
+		if !c.threaded {
+			pass.Reportf(c.node.Pos(),
+				"%s receives a context.Context but builds %s without threading it: set Ctx (use context.Background() to detach deliberately) so cancellation reaches the search",
+				fd.Name.Name, c.what)
+		}
+	}
+}
+
+// isConstructionExpr reports whether rhs creates a fresh options value:
+// a composite literal or any call returning the options type (the
+// DefaultOptions/PaperOptions constructors). Plain copies from another
+// variable are not constructions — the source was checked where it was
+// built.
+func isConstructionExpr(pass *Pass, rhs ast.Expr) bool {
+	switch rhs.(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		return true
+	}
+	return false
+}
+
+// boundToAssign reports whether lit is the direct RHS of an assignment
+// inside body (those are recorded with their base by the caller).
+func boundToAssign(body *ast.BlockStmt, lit *ast.CompositeLit) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, rhs := range as.Rhs {
+				if rhs == ast.Expr(lit) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// litThreadsCtx reports whether an options composite literal visibly
+// carries a context: a Ctx key, or an options-typed field (embedded
+// bb.Options, pbb.Options.Options) whose value is a threaded
+// construction, a path with .Ctx assigned, or a nested literal that
+// itself threads.
+func litThreadsCtx(lit *ast.CompositeLit, cons []*ctxConstruction, threadedPaths map[string]bool) bool {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if key.Name == "Ctx" {
+			return true
+		}
+		// Nested literal value (Options: bb.Options{...}).
+		if sub, ok := kv.Value.(*ast.CompositeLit); ok {
+			if litThreadsCtx(sub, cons, threadedPaths) {
+				return true
+			}
+			continue
+		}
+		// Reference to a variable (Options: bbOpt / BB: cfg.BB).
+		if path := pathString(kv.Value); path != "" {
+			if threadedPaths[path] {
+				return true
+			}
+			for _, c := range cons {
+				if c.threaded && c.base == path {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

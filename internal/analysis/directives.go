@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DirectivePrefix introduces an in-code suppression:
+//
+//	//evovet:ignore <analyzer> <reason>
+//
+// A directive suppresses findings of <analyzer> on its own line or the
+// line immediately below it (so it works both as a trailing comment and
+// as a standalone comment above the finding). The reason is mandatory:
+// a suppression without a documented justification is itself a finding,
+// as are directives naming an unknown analyzer and directives that
+// suppress nothing (stale suppressions outlive their finding).
+const DirectivePrefix = "//evovet:ignore"
+
+// directiveAnalyzer is the pseudo-analyzer name carried by diagnostics
+// about the directives themselves.
+const directiveAnalyzer = "directive"
+
+type directive struct {
+	pos      token.Pos
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// parseDirectives scans every comment of every file for evovet:ignore
+// directives.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []*directive {
+	var dirs []*directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, DirectivePrefix)
+				// Require "//evovet:ignore<space>" (or nothing at all,
+				// which is a malformed directive, reported below).
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				fields := strings.Fields(rest)
+				d := &directive{pos: c.Pos(), line: fset.Position(c.Pos()).Line}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].pos < dirs[j].pos })
+	return dirs
+}
+
+// applyDirectives drops diagnostics covered by a justified suppression
+// and appends diagnostics for malformed, unknown, or unused directives.
+// known names every analyzer of the suite (for the unknown-name check);
+// ran names the analyzers that actually ran in this pass — only their
+// directives can be judged unused.
+func applyDirectives(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known, ran map[string]bool) []Diagnostic {
+	dirs := parseDirectives(fset, files)
+	if len(dirs) == 0 {
+		return diags
+	}
+	byFile := make(map[string][]*directive)
+	for _, d := range dirs {
+		name := fset.Position(d.pos).Filename
+		byFile[name] = append(byFile[name], d)
+	}
+	var out []Diagnostic
+	for _, diag := range diags {
+		pos := fset.Position(diag.Pos)
+		suppressed := false
+		for _, d := range byFile[pos.Filename] {
+			if d.analyzer != diag.Analyzer {
+				continue
+			}
+			if pos.Line != d.line && pos.Line != d.line+1 {
+				continue
+			}
+			if d.reason == "" {
+				// An unjustified directive never suppresses; it is
+				// reported below and the finding stays visible too.
+				continue
+			}
+			d.used = true
+			suppressed = true
+			break
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, d := range dirs {
+		switch {
+		case d.analyzer == "":
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: directiveAnalyzer,
+				Message: fmt.Sprintf("malformed directive: want %s <analyzer> <reason>", DirectivePrefix)})
+		case !known[d.analyzer]:
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: directiveAnalyzer,
+				Message: fmt.Sprintf("directive names unknown analyzer %q (known: %s)", d.analyzer, strings.Join(names, ", "))})
+		case d.reason == "":
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: directiveAnalyzer,
+				Message: fmt.Sprintf("suppression of %s has no justification: want %s %s <reason>", d.analyzer, DirectivePrefix, d.analyzer)})
+		case !d.used && ran[d.analyzer]:
+			out = append(out, Diagnostic{Pos: d.pos, Analyzer: directiveAnalyzer,
+				Message: fmt.Sprintf("unused suppression: %s reports nothing here (stale directive?)", d.analyzer)})
+		}
+	}
+	return out
+}

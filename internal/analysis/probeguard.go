@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ProbeGuard reports Emit calls on obs.Probe interface values that are
+// not dominated by a nil guard. The obs contract is that a nil Probe
+// means "no telemetry" and that an uninstrumented run costs the hot
+// paths exactly one nil check — an unguarded emission either panics on
+// nil or, worse, forces callers to pass a no-op probe and pay the event
+// construction on every node expansion.
+//
+// Accepted guard shapes (all on the same selector path as the call):
+//
+//	if p != nil { p.Emit(...) }               // direct guard
+//	if p == nil { return }; ...; p.Emit(...)  // early return, incl. "p == nil || n == 0"
+//	sampling := p != nil && period > 0        // single-assignment bool
+//	if sampling { p.Emit(...) }
+//	if p != nil { defer func() { p.Emit(...) }() } // guards cross closures
+//
+// Emit methods themselves (forwarders like obs.Multi's fan-out, which
+// are only reachable through an already-guarded emission) are exempt.
+var ProbeGuard = &Analyzer{
+	Name: "probeguard",
+	Doc:  "obs.Probe emissions must sit behind the nil-probe guard idiom",
+	Run:  runProbeGuard,
+}
+
+func runProbeGuard(pass *Pass) error {
+	// boolAssigns is computed lazily per enclosing function: the map is
+	// only needed when an Emit call is actually found.
+	assignCache := make(map[ast.Node]map[types.Object]ast.Expr)
+
+	withStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Emit" {
+			return true
+		}
+		recv := pass.TypesInfo.TypeOf(sel.X)
+		if recv == nil || !isNamed(recv, "evotree/internal/obs", "Probe") {
+			return true
+		}
+		if insideEmitMethod(stack) {
+			return true
+		}
+		path := pathString(sel.X)
+		if path == "" {
+			// Emission through a computed expression (call result,
+			// index). No guard can be matched syntactically; report it —
+			// the idiom is to bind the probe to a variable first.
+			pass.Reportf(call.Pos(),
+				"Emit on a computed obs.Probe expression cannot be nil-guarded: bind the probe to a variable and guard it")
+			return true
+		}
+		// The guard may live in any enclosing function up the stack (a
+		// guarded if wrapping a deferred closure), so boolean-variable
+		// resolution uses the outermost function's assignments.
+		fn := outermostFunc(stack)
+		if fn == nil {
+			return true
+		}
+		assigns, ok := assignCache[fn]
+		if !ok {
+			assigns = boolAssigns(pass.TypesInfo, fn)
+			assignCache[fn] = assigns
+		}
+		if !guardedNonNil(stack, call.Pos(), path, assigns, pass.TypesInfo) {
+			pass.Reportf(call.Pos(),
+				"unguarded %s.Emit: a nil Probe means no telemetry — guard with `if %s != nil` (or an early return) so uninstrumented runs stay zero-cost",
+				path, path)
+		}
+		return true
+	})
+	return nil
+}
+
+// insideEmitMethod reports whether the stack passes through a method
+// declaration named Emit — a Probe implementation forwarding to its
+// children, which by contract is only ever entered through a guarded
+// emission.
+func insideEmitMethod(stack []ast.Node) bool {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			return fd.Recv != nil && fd.Name.Name == "Emit"
+		}
+	}
+	return false
+}
+
+// outermostFunc returns the outermost enclosing function node: guard
+// bools are declared in the function that owns the guard, which for
+// deferred closures is an ancestor of the emitting FuncLit.
+func outermostFunc(stack []ast.Node) ast.Node {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return n
+		}
+	}
+	return nil
+}

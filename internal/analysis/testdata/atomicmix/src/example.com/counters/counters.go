@@ -1,0 +1,63 @@
+package counters
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	total int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) read() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// snapshot races with bump: hits has been blessed as atomic, so the
+// plain read is a torn-counter bug.
+func (s *stats) snapshot() int64 {
+	return s.hits // want `plain access to field hits`
+}
+
+func (s *stats) fine() int64 {
+	return s.total
+}
+
+// escape re-exposes the address of a blessed field; the discipline is
+// no longer verifiable at this site.
+func (s *stats) escape(f func(*int64)) {
+	f(&s.hits) // want `plain access to field hits`
+}
+
+// misaligned: under 32-bit layout, n sits at offset 4, where the 64-bit
+// atomics fault on 386/arm.
+type misaligned struct {
+	flag int32
+	n    int64
+}
+
+func (m *misaligned) load() int64 {
+	return atomic.LoadInt64(&m.n) // want `not 8-byte aligned`
+}
+
+type aligned struct {
+	n    int64
+	flag int32
+}
+
+func (a *aligned) load() int64 {
+	return atomic.LoadInt64(&a.n)
+}
+
+// typed atomics carry their own alignment and atomicity guarantees; the
+// analyzer leaves them alone.
+type modern struct {
+	n atomic.Int64
+}
+
+func (t *modern) both() int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}

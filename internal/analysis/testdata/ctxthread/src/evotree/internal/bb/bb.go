@@ -1,0 +1,13 @@
+// Package bb is a fixture stub shadowing the real engine package: the
+// analyzers match types by import path, so this is all ctxthread needs.
+package bb
+
+import "context"
+
+type Options struct {
+	Ctx       context.Context
+	UseMaxMin bool
+	MaxNodes  int64
+}
+
+func DefaultOptions() Options { return Options{UseMaxMin: true} }

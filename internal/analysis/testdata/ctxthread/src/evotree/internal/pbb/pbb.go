@@ -1,0 +1,9 @@
+// Package pbb is a fixture stub shadowing the real parallel engine.
+package pbb
+
+import "evotree/internal/bb"
+
+type Options struct {
+	bb.Options
+	Workers int
+}

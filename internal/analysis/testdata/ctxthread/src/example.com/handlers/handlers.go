@@ -1,0 +1,80 @@
+package handlers
+
+import (
+	"context"
+	"net/http"
+
+	"evotree/internal/bb"
+	"evotree/internal/pbb"
+)
+
+// buildHandler reconstructs the original evoweb bug: search options
+// built inside a request handler without the request's context, so a
+// disconnected client could not cancel the search.
+func buildHandler(w http.ResponseWriter, r *http.Request) {
+	opt := bb.Options{UseMaxMin: true} // want `builds bb\.Options without threading`
+	_ = opt
+}
+
+func solveDirect(ctx context.Context) {
+	opt := bb.Options{Ctx: ctx, UseMaxMin: true}
+	_ = opt
+}
+
+func solveAssignedLater(ctx context.Context) {
+	opt := bb.DefaultOptions()
+	opt.Ctx = ctx
+	_ = opt
+}
+
+func solveDetached(ctx context.Context) {
+	// Explicitly detaching is allowed: the detachment is visible at the
+	// construction site.
+	opt := bb.Options{Ctx: context.Background()}
+	_ = opt
+}
+
+func solveParallel(ctx context.Context) {
+	bbOpt := bb.DefaultOptions()
+	bbOpt.Ctx = ctx
+	popt := pbb.Options{Options: bbOpt, Workers: 4}
+	_ = popt
+}
+
+func solveParallelBad(ctx context.Context) {
+	bbOpt := bb.DefaultOptions()                    // want `builds bb\.Options without threading`
+	popt := pbb.Options{Options: bbOpt, Workers: 4} // want `builds pbb\.Options without threading`
+	_ = popt
+}
+
+func promotedCtx(ctx context.Context) {
+	popt := pbb.Options{Workers: 2}
+	popt.Ctx = ctx
+	_ = popt
+}
+
+func nestedLiteral(ctx context.Context) {
+	popt := pbb.Options{Options: bb.Options{Ctx: ctx}, Workers: 2}
+	_ = popt
+}
+
+func anonymousArgs(ctx context.Context) {
+	consume(bb.Options{MaxNodes: 10}) // want `builds bb\.Options without threading`
+	consume(bb.Options{Ctx: ctx})
+}
+
+func consume(o bb.Options) {}
+
+// noContext has no context to thread: constructing detached options is
+// the only possibility and is fine.
+func noContext(n int) {
+	opt := bb.Options{MaxNodes: int64(n)}
+	_ = opt
+}
+
+// plainCopy is not a construction: aliasing an existing options value
+// is checked where that value was built.
+func plainCopy(ctx context.Context, base bb.Options) {
+	opt := base
+	_ = opt
+}

@@ -1,0 +1,10 @@
+// Package obs is a fixture stub shadowing the real observability
+// package (the directives fixture uses probeguard findings as raw
+// material for suppressions).
+package obs
+
+type Event struct{ Kind int }
+
+type Probe interface {
+	Emit(Event)
+}

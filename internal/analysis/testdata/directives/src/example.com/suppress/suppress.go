@@ -1,0 +1,55 @@
+package suppress
+
+import "evotree/internal/obs"
+
+type engine struct{ probe obs.Probe }
+
+// A justified suppression silences the finding and produces nothing.
+func justified(e *engine, ev obs.Event) {
+	//evovet:ignore probeguard invoked only from guarded call sites in this fixture
+	e.probe.Emit(ev)
+}
+
+// The directive also works as a trailing comment on the finding's line.
+func trailing(e *engine, ev obs.Event) {
+	e.probe.Emit(ev) //evovet:ignore probeguard invoked only from guarded call sites in this fixture
+}
+
+// A suppression without a reason does not suppress — the original
+// finding stays visible — and is itself reported.
+func reasonless(e *engine, ev obs.Event) {
+	// want(+1) `suppression of probeguard has no justification`
+	//evovet:ignore probeguard
+	e.probe.Emit(ev) // want `unguarded e\.probe\.Emit`
+}
+
+// Naming an analyzer that does not exist is reported.
+func unknown(e *engine, ev obs.Event) {
+	// want(+1) `unknown analyzer "nosuchcheck"`
+	//evovet:ignore nosuchcheck because reasons
+	if e.probe != nil {
+		e.probe.Emit(ev)
+	}
+}
+
+// A bare directive is malformed.
+func malformed() {
+	// want(+1) `malformed directive`
+	//evovet:ignore
+}
+
+// A suppression that no longer suppresses anything is stale.
+func stale(e *engine, ev obs.Event) {
+	// want(+1) `unused suppression`
+	//evovet:ignore probeguard this justification outlived its finding
+	if e.probe != nil {
+		e.probe.Emit(ev)
+	}
+}
+
+// Suppressions for analyzers that did not run in this pass are left
+// alone (this fixture runs probeguard only).
+func notRun(r []byte) {
+	//evovet:ignore wirestrict fixture runs probeguard only, so this cannot be judged
+	_ = r
+}

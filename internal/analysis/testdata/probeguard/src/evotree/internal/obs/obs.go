@@ -1,0 +1,12 @@
+// Package obs is a fixture stub shadowing the real observability
+// package: probeguard matches the Probe interface by import path.
+package obs
+
+type Event struct {
+	Kind  int
+	Value float64
+}
+
+type Probe interface {
+	Emit(Event)
+}

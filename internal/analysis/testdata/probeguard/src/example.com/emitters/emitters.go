@@ -1,0 +1,88 @@
+package emitters
+
+import "evotree/internal/obs"
+
+type engine struct {
+	probe obs.Probe
+	n     int64
+}
+
+// The four accepted guard shapes.
+
+func (e *engine) direct(ev obs.Event) {
+	if e.probe != nil {
+		e.probe.Emit(ev)
+	}
+}
+
+func (e *engine) earlyReturn(ev obs.Event) {
+	if e.probe == nil || e.n == 0 {
+		return
+	}
+	e.probe.Emit(ev)
+}
+
+func (e *engine) boolVar(ev obs.Event, period int) {
+	sampling := e.probe != nil && period > 0
+	if sampling {
+		e.probe.Emit(ev)
+	}
+}
+
+func (e *engine) guardedClosure(ev obs.Event) {
+	if e.probe != nil {
+		e.probe.Emit(ev)
+		defer func() {
+			e.probe.Emit(ev)
+		}()
+	}
+}
+
+// Violations.
+
+func (e *engine) unguarded(ev obs.Event) {
+	e.probe.Emit(ev) // want `unguarded e\.probe\.Emit`
+}
+
+func (e *engine) wrongGuard(ev obs.Event, other obs.Probe) {
+	if other != nil {
+		e.probe.Emit(ev) // want `unguarded e\.probe\.Emit`
+	}
+}
+
+func (e *engine) elseBranch(ev obs.Event) {
+	if e.probe != nil {
+		_ = ev
+	} else {
+		e.probe.Emit(ev) // want `unguarded e\.probe\.Emit`
+	}
+}
+
+func (e *engine) reassignedBool(ev obs.Event) {
+	ok := e.probe != nil
+	ok = false
+	if ok {
+		e.probe.Emit(ev) // want `unguarded e\.probe\.Emit`
+	}
+}
+
+func (e *engine) guardBeforeNotAround(ev obs.Event) {
+	if e.probe != nil {
+		_ = ev
+	}
+	e.probe.Emit(ev) // want `unguarded e\.probe\.Emit`
+}
+
+func computed(get func() obs.Probe, ev obs.Event) {
+	get().Emit(ev) // want `computed obs\.Probe expression`
+}
+
+// fan is a Probe implementation forwarding to children; Emit methods
+// are exempt because they are only reachable through a guarded call.
+type fan struct{ children []obs.Probe }
+
+func (f *fan) Emit(ev obs.Event) {
+	for _, c := range f.children {
+		c.Emit(ev)
+	}
+}

@@ -1,0 +1,43 @@
+// Package bb is a fixture shadowing the real engine package; this file
+// is the one allowlisted home of unsafe, so only non-carve shapes are
+// reported here.
+package bb
+
+import "unsafe"
+
+type view struct {
+	height []float64
+	ints   []int32
+}
+
+// carve is the blessed pattern: typed views carved from one []uint64
+// slab, every derived slice keeping the allocation alive.
+func carve(maxN int) view {
+	slab := make([]uint64, 3*maxN)
+	var v view
+	v.height = unsafe.Slice((*float64)(unsafe.Pointer(&slab[maxN])), maxN)
+	v.ints = unsafe.Slice((*int32)(unsafe.Pointer(&slab[2*maxN])), 2*maxN)
+	return v
+}
+
+// Compile-time size queries are always fine.
+func sizes() uintptr {
+	return unsafe.Sizeof(view{}) + unsafe.Alignof(view{})
+}
+
+func badPointer(p *int64) *float64 {
+	return (*float64)(unsafe.Pointer(p)) // want `unsafe\.Pointer outside the carve pattern`
+}
+
+func badUintptr(p *int64) uintptr {
+	return uintptr(unsafe.Pointer(p)) // want `unsafe\.Pointer outside the carve pattern` `hides a pointer from the garbage collector`
+}
+
+func badSlice(p *float64, n int) []float64 {
+	return unsafe.Slice(p, n) // want `unsafe\.Slice outside the carve pattern`
+}
+
+func badSliceBase(p *[8]uint64, n int) []float64 {
+	// The carve shape but rooted at an array pointer, not a slice slab.
+	return unsafe.Slice((*float64)(unsafe.Pointer(&p[0])), n) // want `unsafe\.Slice outside the carve pattern` `unsafe\.Pointer outside the carve pattern`
+}

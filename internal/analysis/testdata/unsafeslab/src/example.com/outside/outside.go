@@ -1,0 +1,17 @@
+// Package outside is not on the unsafe allowlist: every use of unsafe
+// is reported, even shapes that would pass inside the slab allocator.
+package outside
+
+import "unsafe"
+
+type header struct {
+	data unsafe.Pointer // want `unsafe\.Pointer outside the slab allocator`
+}
+
+func addr(x *int32) uintptr {
+	return uintptr(unsafe.Pointer(x)) // want `unsafe\.Pointer outside the slab allocator` `hides a pointer from the garbage collector`
+}
+
+func size() uintptr {
+	return unsafe.Sizeof(header{}) // want `unsafe\.Sizeof outside the slab allocator`
+}

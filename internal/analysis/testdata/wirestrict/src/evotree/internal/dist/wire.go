@@ -1,0 +1,80 @@
+// Package dist is a fixture shadowing the real coordinator package:
+// wirestrict treats its JSON traffic as protocol surface.
+package dist
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+	Job    string `json:"job"`
+}
+
+type leaseResponse struct {
+	Unit  int   `json:"unit"`
+	Stats stats `json:"stats"`
+}
+
+// stats reaches the wire as a field of leaseResponse, so its own fields
+// are held to the same standard.
+type stats struct {
+	Expanded int64 // want `has no json tag`
+	mu       int   // want `invisible to encoding/json`
+}
+
+// untouched never reaches a JSON call: no tag requirements.
+type untouched struct {
+	Plain int
+}
+
+func readLease(r *http.Request) (*leaseRequest, error) {
+	var req leaseRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+func readLenient(r io.Reader) (*leaseRequest, error) {
+	var req leaseRequest
+	if err := json.NewDecoder(r).Decode(&req); err != nil { // want `chained json\.NewDecoder`
+		return nil, err
+	}
+	return &req, nil
+}
+
+func readForgotten(r io.Reader) error {
+	var req leaseRequest
+	dec := json.NewDecoder(r)
+	return dec.Decode(&req) // want `without dec\.DisallowUnknownFields`
+}
+
+func readUnmarshal(b []byte) error {
+	var req leaseRequest
+	return json.Unmarshal(b, &req) // want `json\.Unmarshal cannot reject unknown fields`
+}
+
+func send(w io.Writer, resp *leaseResponse) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(resp)
+}
+
+// writeJSON is an intra-package helper: arguments at its v position are
+// wire roots at every call site.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+type viaHelper struct {
+	Unit int // want `has no json tag`
+}
+
+func respond(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, viaHelper{Unit: 1})
+}

@@ -1,0 +1,24 @@
+// Package free is not a wire package: evovet leaves its JSON use alone
+// (ordinary tools decoding their own config files are not protocol
+// surface).
+package free
+
+import (
+	"encoding/json"
+	"io"
+)
+
+type blob struct {
+	Anything int
+	hidden   string
+}
+
+func decode(r io.Reader) (*blob, error) {
+	var b blob
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+func use(b *blob) string { return b.hidden }

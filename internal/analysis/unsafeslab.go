@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// UnsafeSlab confines package unsafe to the slab allocator. The engine's
+// one legitimate unsafe use is internal/bb/pnode.go carving typed views
+// out of a single []uint64 allocation:
+//
+//	slab := make([]uint64, words)
+//	v.height = unsafe.Slice((*float64)(unsafe.Pointer(&slab[off])), n)
+//
+// which is GC-safe because every derived slice keeps the slab alive and
+// no pointer ever leaves the allocation. Everywhere else — and for any
+// other shape, in particular uintptr round-trips that hide pointers
+// from the garbage collector — unsafe is reported.
+var UnsafeSlab = &Analyzer{
+	Name: "unsafeslab",
+	Doc:  "unsafe is confined to the slab allocator and to the carve-from-one-allocation pattern",
+	Run:  runUnsafeSlab,
+}
+
+// unsafeAllowlist maps package path to base filenames where the slab
+// pattern is permitted.
+var unsafeAllowlist = map[string]map[string]bool{
+	"evotree/internal/bb": {"pnode.go": true},
+}
+
+func runUnsafeSlab(pass *Pass) error {
+	allowedFiles := unsafeAllowlist[pkgPath(pass.Pkg)]
+	for _, f := range pass.Files {
+		filename := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		fileAllowed := allowedFiles[filename]
+		// consumed marks unsafe.Pointer selector nodes that appear inside
+		// a valid carve so they are not re-reported on their own.
+		consumed := make(map[ast.Node]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				if call, isCall := n.(*ast.CallExpr); isCall {
+					checkUintptrConv(pass, call)
+				}
+				return true
+			}
+			if !isUnsafeSel(pass, sel) || consumed[sel] {
+				return true
+			}
+			if !fileAllowed {
+				pass.Reportf(sel.Pos(),
+					"unsafe.%s outside the slab allocator: unsafe is confined to internal/bb/pnode.go (grow the allowlist in evovet only with a reviewed pattern)",
+					sel.Sel.Name)
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Sizeof", "Alignof", "Offsetof":
+				// Compile-time queries, always safe.
+			case "Slice":
+				if inner, ok := slabCarve(pass, sel); ok {
+					consumed[inner] = true
+				} else {
+					pass.Reportf(sel.Pos(),
+						"unsafe.Slice outside the carve pattern: want unsafe.Slice((*T)(unsafe.Pointer(&slab[i])), n) with a slice-backed slab")
+				}
+			case "Pointer":
+				// A Pointer consumed by a valid Slice carve was marked
+				// before we descended into it; any other appearance is a
+				// free-floating pointer conversion.
+				pass.Reportf(sel.Pos(),
+					"unsafe.Pointer outside the carve pattern: only the slab carve unsafe.Slice((*T)(unsafe.Pointer(&slab[i])), n) is permitted here")
+			default:
+				pass.Reportf(sel.Pos(),
+					"unsafe.%s is not part of the slab carve pattern", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isUnsafeSel reports whether sel is a selection on package unsafe.
+func isUnsafeSel(pass *Pass, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "unsafe"
+}
+
+// slabCarve matches the full carve pattern around an unsafe.Slice
+// selector: the enclosing call must be
+//
+//	unsafe.Slice((*T)(unsafe.Pointer(&slab[i])), n)
+//
+// where slab has slice type. On success it returns the inner
+// unsafe.Pointer selector so the caller can mark it consumed.
+func slabCarve(pass *Pass, sliceSel *ast.SelectorExpr) (ast.Node, bool) {
+	// Find the CallExpr whose Fun is this selector.
+	call := enclosingCall(pass, sliceSel)
+	if call == nil || len(call.Args) != 2 {
+		return nil, false
+	}
+	// First arg: a pointer-type conversion (*T)(...)
+	conv, ok := call.Args[0].(*ast.CallExpr)
+	if !ok || len(conv.Args) != 1 {
+		return nil, false
+	}
+	if t := pass.TypesInfo.TypeOf(conv.Fun); t == nil {
+		return nil, false
+	} else if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		return nil, false
+	}
+	// ... of unsafe.Pointer(&slab[i])
+	ptrCall, ok := conv.Args[0].(*ast.CallExpr)
+	if !ok || len(ptrCall.Args) != 1 {
+		return nil, false
+	}
+	ptrSel, ok := ptrCall.Fun.(*ast.SelectorExpr)
+	if !ok || !isUnsafeSel(pass, ptrSel) || ptrSel.Sel.Name != "Pointer" {
+		return nil, false
+	}
+	addr, ok := ptrCall.Args[0].(*ast.UnaryExpr)
+	if !ok {
+		return nil, false
+	}
+	idx, ok := addr.X.(*ast.IndexExpr)
+	if !ok {
+		return nil, false
+	}
+	base := pass.TypesInfo.TypeOf(idx.X)
+	if base == nil {
+		return nil, false
+	}
+	if _, isSlice := base.Underlying().(*types.Slice); !isSlice {
+		return nil, false
+	}
+	return ptrSel, true
+}
+
+// enclosingCall finds the call expression invoking fun. The AST has no
+// parent links; a targeted walk from the file keeps this simple, and
+// unsafe.Slice appears a handful of times at most.
+func enclosingCall(pass *Pass, fun ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	for _, f := range pass.Files {
+		if f.Pos() <= fun.Pos() && fun.End() <= f.End() {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && call.Fun == fun {
+					found = call
+					return false
+				}
+				return found == nil
+			})
+			break
+		}
+	}
+	return found
+}
+
+// checkUintptrConv reports uintptr(unsafe.Pointer(...)) conversions —
+// the shape that hides a pointer from the collector — anywhere,
+// including allowlisted files.
+func checkUintptrConv(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(call.Fun)
+	if t == nil {
+		return
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Uintptr {
+		return
+	}
+	// Conversion (not a call returning uintptr): Fun must be a type.
+	if tv, ok := typeExprOf(pass, call.Fun); !ok || !tv {
+		return
+	}
+	at := pass.TypesInfo.TypeOf(call.Args[0])
+	if at == nil {
+		return
+	}
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		pass.Reportf(call.Pos(),
+			"uintptr(unsafe.Pointer(...)) hides a pointer from the garbage collector: the slab pattern never needs integer arithmetic on addresses")
+	}
+}
+
+// typeExprOf reports whether e denotes a type (i.e. the call is a
+// conversion).
+func typeExprOf(pass *Pass, e ast.Expr) (bool, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false, false
+	}
+	return tv.IsType(), true
+}

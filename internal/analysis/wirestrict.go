@@ -1,0 +1,425 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+)
+
+// WireStrict enforces the wire-format discipline of the HTTP surfaces
+// (internal/dist coordinator protocol, internal/web JSON API):
+//
+//  1. Strict decoding. Every wire decode must be able to reject unknown
+//     fields: json.Unmarshal and chained json.NewDecoder(r).Decode(v)
+//     calls are reported; a decoder bound to a variable must call
+//     DisallowUnknownFields in the same function. The coordinator's
+//     lease/result/bound contract promises 400 on malformed bodies —
+//     lenient decoding silently accepts typo'd field names instead.
+//
+//  2. Exhaustive tags. Every struct that reaches a JSON encode/decode
+//     call (directly or through an intra-package helper like writeJSON/
+//     readJSON, transitively through its fields) must tag every exported
+//     field explicitly — an untagged field changes its wire name when
+//     the Go name is refactored, which is a silent protocol break —
+//     and must not carry unexported data fields, which are silently
+//     dropped from the wire.
+var WireStrict = &Analyzer{
+	Name: "wirestrict",
+	Doc:  "wire structs need exhaustive json tags; wire payloads must be decoded strictly",
+	Run:  runWireStrict,
+}
+
+// wirePackages are the packages whose JSON traffic is protocol surface.
+var wirePackages = map[string]bool{
+	"evotree/internal/dist": true,
+	"evotree/internal/web":  true,
+}
+
+func runWireStrict(pass *Pass) error {
+	if !wirePackages[pkgPath(pass.Pkg)] {
+		return nil
+	}
+	checkStrictDecoding(pass)
+	checkWireTags(pass)
+	return nil
+}
+
+// --- rule 1: strict decoding ---
+
+func checkStrictDecoding(pass *Pass) {
+	// disallowed collects, per function node, the set of lvalue paths on
+	// which DisallowUnknownFields was called.
+	withStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isJSONPkgFunc(pass, sel, "Unmarshal"):
+			pass.Reportf(call.Pos(),
+				"json.Unmarshal cannot reject unknown fields: decode wire payloads with a json.Decoder plus DisallowUnknownFields")
+		case sel.Sel.Name == "Decode" && isJSONMethodRecv(pass, sel.X, "Decoder"):
+			if isChainedNewDecoder(pass, sel.X) {
+				pass.Reportf(call.Pos(),
+					"chained json.NewDecoder(...).Decode leaves unknown fields accepted: bind the decoder and call DisallowUnknownFields first")
+				return true
+			}
+			path := pathString(sel.X)
+			if path == "" {
+				return true
+			}
+			fn := enclosingFunc(stack)
+			if fn == nil || !callsOnPath(pass, fn, path, "DisallowUnknownFields") {
+				pass.Reportf(call.Pos(),
+					"%s.Decode without %s.DisallowUnknownFields in this function: wire decodes must reject unknown fields",
+					path, path)
+			}
+		}
+		return true
+	})
+}
+
+// isJSONPkgFunc matches encoding/json package-level function calls.
+func isJSONPkgFunc(pass *Pass, sel *ast.SelectorExpr, name string) bool {
+	if sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "encoding/json"
+}
+
+// isJSONMethodRecv reports whether expr's static type is
+// *encoding/json.<name> (or the value form).
+func isJSONMethodRecv(pass *Pass, expr ast.Expr, name string) bool {
+	t := pass.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isNamed(t, "encoding/json", name)
+}
+
+// isChainedNewDecoder reports whether expr is directly a
+// json.NewDecoder(...) call (no variable in between).
+func isChainedNewDecoder(pass *Pass, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && isJSONPkgFunc(pass, sel, "NewDecoder")
+}
+
+// callsOnPath reports whether fn's body contains a call path.method().
+func callsOnPath(pass *Pass, fn ast.Node, path, method string) bool {
+	body := funcBody(fn)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+			sel.Sel.Name == method && pathString(sel.X) == path {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// --- rule 2: exhaustive tags on wire structs ---
+
+// checkWireTags discovers which named struct types reach the wire and
+// verifies their field tags.
+func checkWireTags(pass *Pass) {
+	roots := wireRoots(pass)
+
+	// Close over field types: a struct reaching the wire drags its
+	// struct-typed fields (under pointers, slices, arrays, maps) along.
+	wire := make(map[*types.TypeName]ast.Expr) // type -> a use site for reporting
+	var queue []*types.Named
+	enqueue := func(t types.Type, at ast.Expr) {
+		for {
+			switch u := t.(type) {
+			case *types.Pointer:
+				t = u.Elem()
+				continue
+			case *types.Slice:
+				t = u.Elem()
+				continue
+			case *types.Array:
+				t = u.Elem()
+				continue
+			case *types.Map:
+				t = u.Elem()
+				continue
+			}
+			break
+		}
+		n, ok := types.Unalias(t).(*types.Named)
+		if !ok {
+			return
+		}
+		if _, isStruct := n.Underlying().(*types.Struct); !isStruct {
+			return
+		}
+		if _, seen := wire[n.Obj()]; seen {
+			return
+		}
+		wire[n.Obj()] = at
+		queue = append(queue, n)
+	}
+	for t, at := range roots {
+		enqueue(t, at)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		st := n.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			enqueue(st.Field(i).Type(), wire[n.Obj()])
+		}
+	}
+
+	// Verify tags for wire structs declared in this package. (Structs
+	// from other packages are verified when that package is analyzed.)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if obj == nil {
+				return true
+			}
+			if _, isWire := wire[obj]; !isWire {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			checkStructTags(pass, ts.Name.Name, st)
+			return true
+		})
+	}
+}
+
+// checkStructTags reports untagged exported fields and unexported data
+// fields of one wire struct declaration.
+func checkStructTags(pass *Pass, name string, st *ast.StructType) {
+	for _, fld := range st.Fields.List {
+		if len(fld.Names) == 0 {
+			// Embedded field: its own declaration carries the tags. A
+			// json tag on the embedding is legal but not required.
+			continue
+		}
+		var tag reflect.StructTag
+		if fld.Tag != nil {
+			if unquoted, err := strconv.Unquote(fld.Tag.Value); err == nil {
+				tag = reflect.StructTag(unquoted)
+			}
+		}
+		_, hasJSON := tag.Lookup("json")
+		for _, fname := range fld.Names {
+			if fname.Name == "_" {
+				continue
+			}
+			if !ast.IsExported(fname.Name) {
+				pass.Reportf(fname.Pos(),
+					"unexported field %s.%s is invisible to encoding/json: it silently drops off the wire — export and tag it, or move it off the wire struct",
+					name, fname.Name)
+				continue
+			}
+			if !hasJSON {
+				pass.Reportf(fname.Pos(),
+					"wire struct field %s.%s has no json tag: the wire name currently tracks the Go name and a rename silently breaks the protocol",
+					name, fname.Name)
+			}
+		}
+	}
+}
+
+// wireRoots finds the types that flow into JSON encode/decode calls,
+// including flows through intra-package helper functions (writeJSON,
+// readJSON): if a function's parameter is passed to a JSON sink, every
+// call site's argument at that position is a wire root. Helper
+// discovery iterates to a fixpoint to follow helpers calling helpers.
+func wireRoots(pass *Pass) map[types.Type]ast.Expr {
+	roots := make(map[types.Type]ast.Expr)
+	addRoot := func(arg ast.Expr) {
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil {
+			return
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if _, seen := roots[t]; !seen {
+			roots[t] = arg
+		}
+	}
+
+	// sinkParams maps a function object to the set of parameter indices
+	// that flow into a JSON sink inside it.
+	sinkParams := make(map[types.Object]map[int]bool)
+	paramIndex := func(fn *ast.FuncDecl, obj types.Object) int {
+		i := 0
+		for _, fld := range fn.Type.Params.List {
+			for _, name := range fld.Names {
+				if pass.TypesInfo.Defs[name] == obj {
+					return i
+				}
+				i++
+			}
+			if len(fld.Names) == 0 {
+				i++
+			}
+		}
+		return -1
+	}
+
+	// jsonSinkArg returns the data argument of a direct JSON call, or nil.
+	jsonSinkArg := func(call *ast.CallExpr) ast.Expr {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		switch {
+		case isJSONPkgFunc(pass, sel, "Marshal") && len(call.Args) == 1:
+			return call.Args[0]
+		case isJSONPkgFunc(pass, sel, "MarshalIndent") && len(call.Args) == 3:
+			return call.Args[0]
+		case isJSONPkgFunc(pass, sel, "Unmarshal") && len(call.Args) == 2:
+			return call.Args[1]
+		case sel.Sel.Name == "Encode" && isJSONMethodRecv(pass, sel.X, "Encoder") && len(call.Args) == 1:
+			return call.Args[0]
+		case sel.Sel.Name == "Decode" && isJSONMethodRecv(pass, sel.X, "Decoder") && len(call.Args) == 1:
+			return call.Args[0]
+		}
+		return nil
+	}
+
+	// helperSinkArgs returns the arguments of call that land in sink
+	// parameter positions of a known helper.
+	helperSinkArgs := func(call *ast.CallExpr) []ast.Expr {
+		var fnObj types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			fnObj = pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			fnObj = pass.TypesInfo.Uses[fun.Sel]
+		}
+		if fnObj == nil {
+			return nil
+		}
+		idxs := sinkParams[fnObj]
+		if len(idxs) == 0 {
+			return nil
+		}
+		var args []ast.Expr
+		for i := range idxs {
+			if i < len(call.Args) {
+				args = append(args, call.Args[i])
+			}
+		}
+		return args
+	}
+
+	stripAddr := func(e ast.Expr) ast.Expr {
+		if ue, ok := e.(*ast.UnaryExpr); ok {
+			return ue.X
+		}
+		return e
+	}
+
+	// Fixpoint over helper discovery: each round marks parameters that
+	// reach a sink (direct JSON call or an already-known helper).
+	for {
+		grew := false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Type.Params == nil {
+					continue
+				}
+				fnObj := pass.TypesInfo.Defs[fd.Name]
+				if fnObj == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					var sunk []ast.Expr
+					if arg := jsonSinkArg(call); arg != nil {
+						sunk = append(sunk, arg)
+					}
+					sunk = append(sunk, helperSinkArgs(call)...)
+					for _, arg := range sunk {
+						id, ok := stripAddr(arg).(*ast.Ident)
+						if !ok {
+							continue
+						}
+						obj := pass.TypesInfo.Uses[id]
+						if obj == nil {
+							continue
+						}
+						if _, isParam := obj.(*types.Var); !isParam {
+							continue
+						}
+						if idx := paramIndex(fd, obj); idx >= 0 {
+							if sinkParams[fnObj] == nil {
+								sinkParams[fnObj] = make(map[int]bool)
+							}
+							if !sinkParams[fnObj][idx] {
+								sinkParams[fnObj][idx] = true
+								grew = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+
+	// Collect roots: arguments to direct JSON calls and to helper sink
+	// positions, stripped of &.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if arg := jsonSinkArg(call); arg != nil {
+				addRoot(stripAddr(arg))
+			}
+			for _, arg := range helperSinkArgs(call) {
+				addRoot(stripAddr(arg))
+			}
+			return true
+		})
+	}
+	return roots
+}

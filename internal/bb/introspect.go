@@ -177,6 +177,7 @@ func (g *gapSampler) sampleNow(ub, bestLB float64, expanded, frontier int64) {
 }
 
 func (g *gapSampler) emit(ub, bestLB float64, expanded, frontier int64, rate float64, now time.Time) {
+	//evovet:ignore probeguard both callers (maybeSample, sampleNow) return early when g.probe is nil
 	g.probe.Emit(obs.Event{
 		Kind:     obs.GapSample,
 		Worker:   obs.MasterWorker,

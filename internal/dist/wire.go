@@ -160,7 +160,7 @@ type resultRequest struct {
 	Truncated bool    `json:"truncated,omitempty"`
 	HasOpen   bool    `json:"has_open,omitempty"`
 	OpenLB    float64 `json:"open_lb,omitempty"`
-	Stats     bb.Stats
+	Stats     bb.Stats `json:"stats"`
 	// Best is the cheapest complete topology the unit found, if any.
 	// Normally already published via POST /v1/bound; carried here too so
 	// a lost broadcast cannot lose the optimum.

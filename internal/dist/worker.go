@@ -377,7 +377,9 @@ func (w *worker) do(req *http.Request, out any) error {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("dist: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	dec := json.NewDecoder(resp.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(out)
 }
 
 // jsonBody marshals a wire value into a request body.

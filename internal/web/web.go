@@ -319,7 +319,9 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*Request
 	req := &Request{}
 	switch mt {
 	case "application/json":
-		if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(req); err != nil {
 			if isBodyTooLarge(err) {
 				return nil, http.StatusRequestEntityTooLarge,
 					fmt.Errorf("request body exceeds the %d-byte limit", limit)
