@@ -66,6 +66,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		distAddr  = fs.String("dist-listen", "", "with -algo dist/distc: serve the farm API on this address for external evoworker processes instead of spawning localhost workers")
 		threeT    = fs.Bool("33", false, "apply the 3-3 relationship at the third species")
 		threeTAll = fs.Bool("33all", false, "apply the generalized per-insertion 3-3 filter")
+		propagate = fs.Bool("propagate", false, "re-bound popped nodes with the incremental ultrametric propagation bound (exact)")
+		dominance = fs.Bool("dominance", false, "apply the twin dominance/symmetry insertion rules (exact, single optimum)")
 		noMaxMin  = fs.Bool("no-maxmin", false, "disable the max-min species relabeling")
 		reduction = fs.String("reduction", "maximum", "group distance rule: maximum|minimum|average")
 		maxNodes  = fs.Int64("max-nodes", 0, "abort the search after this many expansions (0 = unlimited)")
@@ -166,7 +168,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		Constraints: bb.Constraints{
 			ThreeThree:    *threeT,
 			ThreeThreeAll: *threeTAll,
+			Dominance:     *dominance,
 		},
+		Propagate: *propagate,
 		MaxNodes:  *maxNodes,
 		Probe:     probe,
 		GapPeriod: gapPeriod,
@@ -297,9 +301,10 @@ func printResult(w io.Writer, m *matrix.Matrix, t *tree.Tree, cost float64,
 		fmt.Fprintf(w, "# expanded=%d generated=%d pruned=%d solutions=%d ub-updates=%d max-pool=%d\n",
 			stats.Expanded, stats.Generated, stats.PrunedLB, stats.Solutions,
 			stats.UBUpdates, stats.MaxPoolLen)
-		fmt.Fprintf(w, "# pruned-by-rule: bound=%d incumbent=%d threethree=%d constraint=%d budget=%d\n",
+		fmt.Fprintf(w, "# pruned-by-rule: bound=%d incumbent=%d threethree=%d constraint=%d ultrametric=%d dominance=%d budget=%d\n",
 			stats.Pruned.Bound, stats.Pruned.Incumbent, stats.Pruned.ThreeThree,
-			stats.Pruned.Constraint, stats.Pruned.Budget)
+			stats.Pruned.Constraint, stats.Pruned.Ultrametric, stats.Pruned.Dominance,
+			stats.Pruned.Budget)
 	}
 	if ascii {
 		fmt.Fprint(w, t.Ascii())
@@ -313,11 +318,12 @@ func printResult(w io.Writer, m *matrix.Matrix, t *tree.Tree, cost float64,
 // progress run ends with the search's whole story even without -trace.
 func printSearchSummary(w io.Writer, stats bb.Stats, sched pbb.SchedStats) {
 	fmt.Fprintf(w,
-		"search summary: nodes=%d generated=%d completed=%d solutions=%d steals=%d parks=%d donates=%d pruned[bound=%d incumbent=%d threethree=%d constraint=%d budget=%d]\n",
+		"search summary: nodes=%d generated=%d completed=%d solutions=%d steals=%d parks=%d donates=%d pruned[bound=%d incumbent=%d threethree=%d constraint=%d ultrametric=%d dominance=%d budget=%d]\n",
 		stats.Expanded, stats.Generated, stats.Completed, stats.Solutions,
 		sched.Steals, sched.Parks, sched.Donates,
 		stats.Pruned.Bound, stats.Pruned.Incumbent, stats.Pruned.ThreeThree,
-		stats.Pruned.Constraint, stats.Pruned.Budget)
+		stats.Pruned.Constraint, stats.Pruned.Ultrametric, stats.Pruned.Dominance,
+		stats.Pruned.Budget)
 }
 
 // serveCoordinator runs the -dist-listen coordinator mode: it serves the

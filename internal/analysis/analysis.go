@@ -30,6 +30,9 @@
 //     exhaustive json tags and wire payloads are decoded strictly
 //     (DisallowUnknownFields), preserving the 400-on-unknown-field
 //     contract.
+//   - kindswitch: every switch over obs.Kind covers all declared event
+//     kinds or carries an explicit default, so growing the telemetry
+//     vocabulary cannot silently drop events in a forgotten consumer.
 //
 // A finding can be suppressed with an in-code justification:
 //
@@ -85,6 +88,7 @@ func Suite() []*Analyzer {
 	return []*Analyzer{
 		AtomicMix,
 		CtxThread,
+		KindSwitch,
 		ProbeGuard,
 		UnsafeSlab,
 		WireStrict,

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// KindSwitch enforces exhaustive handling of the telemetry event
+// vocabulary: every switch statement over obs.Kind must either cover all
+// declared Kind constants or carry a default clause. The obs.Kind enum
+// grows with the engine (SearchConfig, GapSample, ... were all added
+// after the first consumers were written); a consumer switch without a
+// default silently drops any event kind added later — the recorder, SSE
+// forwarder, or metrics emitter just never sees it — and nothing fails
+// until someone notices the missing data. A default clause is an explicit
+// statement of "everything else is intentionally ignored"; full coverage
+// is an explicit statement of "route every kind"; either is fine, silence
+// is not.
+//
+// The declared-constant set is read from the obs package the switch's
+// Kind type belongs to (source or export data), so the analyzer tracks
+// the enum automatically as kinds are added.
+var KindSwitch = &Analyzer{
+	Name: "kindswitch",
+	Doc:  "switches over obs.Kind must cover every declared kind or carry a default clause",
+	Run:  runKindSwitch,
+}
+
+func runKindSwitch(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := pass.TypesInfo.TypeOf(sw.Tag)
+			if tagType == nil || !isNamed(tagType, "evotree/internal/obs", "Kind") {
+				return true
+			}
+			named := types.Unalias(tagType).(*types.Named)
+			declared := kindConstants(named)
+			if len(declared) == 0 {
+				return true
+			}
+			covered := make(map[string]bool)
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					break
+				}
+				for _, e := range cc.List {
+					if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+						// Compare by constant value, not object identity:
+						// the same obs constant may arrive type-checked from
+						// source in one package and from export data in
+						// another.
+						covered[tv.Value.ExactString()] = true
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, c := range declared {
+				if !covered[c.Val().ExactString()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"switch over obs.Kind has no default clause and misses %s: new event kinds would be dropped silently — add the cases or an explicit default",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// kindConstants returns every constant of the given Kind type declared at
+// package scope in its defining package, sorted by value.
+func kindConstants(kind *types.Named) []*types.Const {
+	pkg := kind.Obj().Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(types.Unalias(c.Type()), kind) {
+			consts = append(consts, c)
+		}
+	}
+	sort.Slice(consts, func(i, j int) bool {
+		return consts[i].Val().ExactString() < consts[j].Val().ExactString()
+	})
+	return consts
+}

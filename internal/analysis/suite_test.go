@@ -12,6 +12,7 @@ func TestAtomicMix(t *testing.T)  { atest.Run(t, "atomicmix", analysis.AtomicMix
 func TestProbeGuard(t *testing.T) { atest.Run(t, "probeguard", analysis.ProbeGuard) }
 func TestUnsafeSlab(t *testing.T) { atest.Run(t, "unsafeslab", analysis.UnsafeSlab) }
 func TestWireStrict(t *testing.T) { atest.Run(t, "wirestrict", analysis.WireStrict) }
+func TestKindSwitch(t *testing.T) { atest.Run(t, "kindswitch", analysis.KindSwitch) }
 
 // TestDirectives exercises the //evovet:ignore machinery: justified
 // suppressions silence findings, while reasonless, unknown, malformed,

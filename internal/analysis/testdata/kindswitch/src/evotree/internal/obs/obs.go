@@ -1,0 +1,18 @@
+// Package obs is a fixture stub shadowing the real observability
+// package: kindswitch matches the Kind type by import path and reads the
+// declared constant set from this package's scope.
+package obs
+
+type Kind uint8
+
+const (
+	ProblemStart Kind = iota
+	UBImproved
+	Prune
+	ProblemFinish
+)
+
+type Event struct {
+	Kind  Kind
+	Value float64
+}

@@ -1,0 +1,75 @@
+package consumers
+
+import "evotree/internal/obs"
+
+// Exhaustive switch, no default: clean — every declared kind is routed.
+func exhaustive(ev obs.Event) int {
+	switch ev.Kind {
+	case obs.ProblemStart:
+		return 1
+	case obs.UBImproved, obs.Prune:
+		return 2
+	case obs.ProblemFinish:
+		return 3
+	}
+	return 0
+}
+
+// Default clause: clean — ignoring the rest is explicit.
+func defaulted(ev obs.Event) int {
+	switch ev.Kind {
+	case obs.UBImproved:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Missing kinds and no default: the PR 10 bug class — a new kind added
+// to the enum silently vanishes in this consumer.
+func leaky(ev obs.Event) int {
+	switch ev.Kind { // want `switch over obs.Kind has no default clause and misses Prune, ProblemFinish`
+	case obs.ProblemStart:
+		return 1
+	case obs.UBImproved:
+		return 2
+	}
+	return 0
+}
+
+// A switch through a local Kind variable is still a Kind switch.
+func localVar(k obs.Kind) int {
+	switch k { // want `misses ProblemStart, UBImproved, Prune`
+	case obs.ProblemFinish:
+		return 1
+	}
+	return 0
+}
+
+// Switches over other integer types are not the analyzer's business.
+func otherType(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// Tagless switches express predicates, not kind routing; out of scope.
+func tagless(ev obs.Event) int {
+	switch {
+	case ev.Kind == obs.Prune:
+		return 1
+	}
+	return 0
+}
+
+// A justified suppression silences the finding.
+func suppressed(ev obs.Event) int {
+	//evovet:ignore kindswitch this consumer only ever receives prune events
+	switch ev.Kind {
+	case obs.Prune:
+		return 1
+	}
+	return 0
+}

@@ -48,6 +48,7 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 	start := time.Now()
 	if opt.Probe != nil {
 		opt.Probe.Emit(obs.Event{Kind: obs.ProblemStart, Worker: obs.MasterWorker, N: p.n})
+		EmitSearchConfig(opt.Probe, p.n, opt)
 	}
 	ubTree, ubCost := p.InitialUpperBound()
 	ub := ubCost
@@ -129,6 +130,15 @@ func (p *Problem) SolveBestFirst(opt Options) *Result {
 			// PrunedLB used to conflate the two).
 			res.Stats.CountIncumbentPrune(int64(frontier.Len()) + 1)
 			break
+		}
+		if opt.Propagate {
+			if plb := p.PropagatedLB(v, np); prune(plb, ub, opt.CollectAll) {
+				// Unlike v.LB, the propagated bound is not the heap key, so
+				// only v dies — the rest of the frontier stays open.
+				res.Stats.CountUltrametricPrune(1)
+				np.Put(v)
+				continue
+			}
 		}
 		if opt.MaxNodes > 0 && res.Stats.Expanded >= opt.MaxNodes {
 			res.Optimal = false

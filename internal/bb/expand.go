@@ -12,6 +12,16 @@ type Constraints struct {
 	// the filter would eliminate every child the unfiltered set is used,
 	// so the search never dead-ends.
 	ThreeThreeAll bool
+	// Dominance enables the twin dominance/symmetry rules on insertion
+	// order: when the inserted species has a placed exact twin at its row
+	// minimum, only the position beside that twin is generated (every
+	// other position is dominated — delete s and re-insert it beside the
+	// twin, and no node rises); and among remaining positions, inserting
+	// above a leaf whose sibling is a smaller-indexed twin leaf is skipped
+	// (the two children are isomorphic under swapping the twins). Both
+	// rules preserve the optimal cost but not the full optimum set, so
+	// they disable themselves under CollectAll.
+	Dominance bool
 }
 
 // Expand generates the children of v in the BBT by inserting permuted
@@ -48,10 +58,45 @@ func (p *Problem) Expand(v *PNode, c Constraints, ub float64, collectAll bool, n
 	// fresh slice.
 	md := np.mdScratch(positions)
 	p.maxDistSweep(v, s, md)
+	// Dominance rules lose alternate optima, so CollectAll (and the rare
+	// restricted third-species step, whose allowed-mask they would fight)
+	// turns them off.
+	dominance := c.Dominance && !collectAll && !restricted
+	if dominance && p.twinSib[s] >= 0 {
+		// Rule: s has a placed exact twin s' at its whole-row minimum. Any
+		// completion placing s elsewhere rewrites, cost-no-worse, into one
+		// with s beside s' — delete leaf s (its parent weighed at least
+		// ½·d(s,s'), the row minimum), re-insert it beside s' at exactly
+		// ½·d(s,s'), and no ancestor rises because s' already forced every
+		// height s needs. Only that one position is generated.
+		e := v.leafID[p.twinSib[s]]
+		pos := int(e)
+		if e > v.root {
+			pos--
+		}
+		pruned.Dominance += int64(positions - 1)
+		lb := p.childBound(v, s, pos, md) + tail
+		if lb > ub || (!collectAll && lb == ub) {
+			pruned.Bound++
+		} else {
+			children = append(children, p.insert(v, s, pos, np, md))
+		}
+		return children, pruned
+	}
 	for pos := 0; pos < positions; pos++ {
 		if restricted && allowed[pos] == 0 {
 			pruned.ThreeThree++
 			continue
+		}
+		if dominance && pos < positions-1 {
+			e := int32(pos)
+			if e >= v.root {
+				e++
+			}
+			if p.twinShadowed(v, e) {
+				pruned.Dominance++
+				continue
+			}
 		}
 		lb := p.childBound(v, s, pos, md) + tail
 		if lb > ub || (!collectAll && lb == ub) {
@@ -114,13 +159,14 @@ func SortByLB(children []*PNode) {
 // linear in K on typical instances and never worse than the single
 // childBound walk it amortizes. max is order-independent, so md is
 // bit-identical to the mask rescans it replaces — prune decisions do not
-// move.
+// move. s may be any unplaced species (the propagation bound sweeps every
+// one of them), so the scan covers exactly the v.K placed leaves.
 func (p *Problem) maxDistSweep(v *PNode, s int, md []float64) {
 	row := p.d[s*p.n : s*p.n+p.n]
 	for i := range md {
 		md[i] = -1
 	}
-	for sp := 0; sp < s; sp++ {
+	for sp := 0; sp < v.K; sp++ {
 		val := row[sp]
 		for x := v.leafID[sp]; x != -1; x = v.parent[x] {
 			if md[x] >= val {

@@ -9,7 +9,7 @@ import (
 
 // PruneStats attributes every discarded search node to the rule that
 // killed it — the measurement layer behind "which bound is earning its
-// keep". The five rules partition all discards:
+// keep". The seven rules partition all discards:
 //
 //   - Bound: children killed at generation time because their lower bound
 //     could not beat the upper bound current at that moment (Expand's
@@ -22,6 +22,12 @@ import (
 //     relation.
 //   - Constraint: children dropped by the generalized per-insertion 3-3
 //     feasibility filter (Constraints.ThreeThreeAll).
+//   - Ultrametric: nodes killed at pop time because the incremental
+//     ultrametric propagation bound (PropagatedLB) crossed the incumbent
+//     where the plain tail bound did not (Options.Propagate).
+//   - Dominance: insertion positions discarded by the twin dominance and
+//     symmetry rules — equivalent-by-distance leaves force a canonical
+//     insertion order (Constraints.Dominance).
 //   - Budget: nodes abandoned unexplored when MaxNodes or a context
 //     cancellation truncated the search.
 //
@@ -31,11 +37,13 @@ import (
 //
 //	Generated + Roots == Expanded + Pruned.Total() + Completed
 type PruneStats struct {
-	Bound      int64
-	Incumbent  int64
-	ThreeThree int64
-	Constraint int64
-	Budget     int64
+	Bound       int64
+	Incumbent   int64
+	ThreeThree  int64
+	Constraint  int64
+	Ultrametric int64
+	Dominance   int64
+	Budget      int64
 }
 
 // Add accumulates other into p.
@@ -44,12 +52,15 @@ func (p *PruneStats) Add(other PruneStats) {
 	p.Incumbent += other.Incumbent
 	p.ThreeThree += other.ThreeThree
 	p.Constraint += other.Constraint
+	p.Ultrametric += other.Ultrametric
+	p.Dominance += other.Dominance
 	p.Budget += other.Budget
 }
 
 // Total is the number of nodes discarded by any rule.
 func (p PruneStats) Total() int64 {
-	return p.Bound + p.Incumbent + p.ThreeThree + p.Constraint + p.Budget
+	return p.Bound + p.Incumbent + p.ThreeThree + p.Constraint +
+		p.Ultrametric + p.Dominance + p.Budget
 }
 
 // ByRule returns the counter for an obs.Rule* name (0 for unknown names).
@@ -63,6 +74,10 @@ func (p PruneStats) ByRule(rule string) int64 {
 		return p.ThreeThree
 	case obs.RuleConstraint:
 		return p.Constraint
+	case obs.RuleUltrametric:
+		return p.Ultrametric
+	case obs.RuleDominance:
+		return p.Dominance
 	case obs.RuleBudget:
 		return p.Budget
 	}
@@ -93,6 +108,14 @@ func (s *Stats) CountIncumbentPrune(n int64) {
 	s.Pruned.Incumbent += n
 	s.PrunedIncumbent += n
 	s.PrunedLB += n
+}
+
+// CountUltrametricPrune attributes n pop-time discards to the ultrametric
+// propagation bound. Not part of PrunedLB, which stays the historical
+// bound+incumbent sum: propagation kills exactly the nodes the plain
+// bound missed, so folding it in would hide its measured value.
+func (s *Stats) CountUltrametricPrune(n int64) {
+	s.Pruned.Ultrametric += n
 }
 
 // CountBudgetPrune attributes n abandoned nodes to search truncation

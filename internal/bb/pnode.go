@@ -79,6 +79,15 @@ type NodePool struct {
 	n    int
 	free []*PNode
 	md   []float64 // Expand's per-species max-distance sweep scratch
+
+	// Propagation scratch (PropagatedLB): a second max-distance table —
+	// separate from md so a pop-time bound never clobbers an in-progress
+	// expansion — plus the node stack and accumulated-raise stack of the
+	// top-down pass. Reused across calls so the pooled steady state
+	// allocates nothing (the AllocsPerRun guards cover the propagate path).
+	pmd    []float64
+	pstk   []int32
+	praise []float64
 }
 
 // NewPool returns an empty free list for p's node size.
@@ -108,6 +117,21 @@ func (np *NodePool) mdScratch(nn int) []float64 {
 		np.md = make([]float64, nn)
 	}
 	return np.md[:nn]
+}
+
+// propScratch returns the propagation pass's scratch: a length-nn
+// max-distance table plus node/raise stacks of capacity nn. A nil pool
+// allocates fresh slices (the nil-pool slow path, mirroring mdScratch).
+func (np *NodePool) propScratch(nn int) (md []float64, stk []int32, raise []float64) {
+	if np == nil {
+		return make([]float64, nn), make([]int32, nn), make([]float64, nn)
+	}
+	if cap(np.pmd) < nn {
+		np.pmd = make([]float64, nn)
+		np.pstk = make([]int32, nn)
+		np.praise = make([]float64, nn)
+	}
+	return np.pmd[:nn], np.pstk[:nn], np.praise[:nn]
 }
 
 // Put recycles a node the caller no longer references. Putting nil is a

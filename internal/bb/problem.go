@@ -43,6 +43,22 @@ type Problem struct {
 	// any completion of a k-leaf partial topology must add.
 	tail  []float64
 	names []string // original species names, indexed by old species id
+
+	// followHalf[k*n+t] = ½ · min_{t' ∈ [k,t)} d[t][t'] (+Inf when the
+	// range is empty): the cheapest way species t can join a completion of
+	// a k-leaf partial topology next to an earlier-but-still-unplaced
+	// species instead of next to the placed tree. The propagation bound's
+	// per-species increment is capped by it (see propagate.go).
+	followHalf []float64
+	// twinRep[s] = smallest exact twin of s (twinRep[s] == s when none):
+	// species whose distance rows agree outside the pair, computed by
+	// matrix.TwinClasses on the permuted matrix. Swapping two twins is a
+	// matrix automorphism — the handle the dominance rules canonicalize.
+	twinRep []int32
+	// twinSib[s] = smallest s' < s that is an exact twin of s with
+	// d(s,s') equal to s's whole-row minimum, -1 otherwise. When set, the
+	// position beside leaf s' dominates every other insertion of s.
+	twinSib []int32
 }
 
 // NewProblem builds a search instance from m. When useMaxMin is true the
@@ -87,6 +103,44 @@ func NewProblem(m *matrix.Matrix, useMaxMin bool) (*Problem, error) {
 	}
 	p.tail[1] = p.tail[2]
 	p.tail[0] = p.tail[2]
+
+	// Follower table for the propagation bound: one backward sweep per
+	// species t fills ½·min_{t' ∈ [k,t)} d(t,t') for every k ≤ t.
+	p.followHalf = make([]float64, n*n)
+	for t := 0; t < n; t++ {
+		f := math.Inf(1)
+		for k := t; k >= 0; k-- {
+			p.followHalf[k*n+t] = f
+			if k > 0 {
+				if h := d[t*n+k-1] / 2; h < f {
+					f = h
+				}
+			}
+		}
+	}
+
+	// Twin classes (in permuted space) for the dominance rules.
+	rep := pm.TwinClasses()
+	p.twinRep = make([]int32, n)
+	p.twinSib = make([]int32, n)
+	for s := 0; s < n; s++ {
+		p.twinRep[s] = int32(rep[s])
+		p.twinSib[s] = -1
+	}
+	for s := 1; s < n; s++ {
+		rowMin := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j != s && d[s*n+j] < rowMin {
+				rowMin = d[s*n+j]
+			}
+		}
+		for j := 0; j < s; j++ {
+			if p.twinRep[j] == p.twinRep[s] && d[s*n+j] == rowMin {
+				p.twinSib[s] = int32(j)
+				break
+			}
+		}
+	}
 	return p, nil
 }
 

@@ -1,0 +1,132 @@
+package bb
+
+import "math"
+
+// This file implements the ultrametric propagation bound: an
+// exactness-preserving strengthening of the paper's tail lower bound
+// obtained by propagating the three-point ultrametric condition of the
+// partial tree onto the species that are still unplaced (the attack Moore
+// & Prosser describe for ultrametric CSPs, specialized to the MUT branch
+// rule).
+//
+// The tail bound charges every unplaced species t its matrix floor
+// δ_t = ½·min_{j<t} d(t,j), ignoring the partial topology entirely. But a
+// completion has to put t somewhere, and the three-point condition prices
+// each choice against the CURRENT tree: if t lands beside the clade of
+// node x, the node that joins them must reach
+//
+//	NN_t(x) = max(h(x), ½·max_{j under x} d(t,j)),
+//
+// and every ancestor w of x must rise to at least ½·max_{j under w} d(t,j)
+// — an extra A_t(w) = max(0, ½·md_t(w) − h(w)) each, accumulated top-down
+// as S_t(x). The only escape from the placed tree is attaching beside an
+// earlier-but-also-unplaced species t', which still costs the follower
+// floor ½·min_{t'∈[K,t)} d(t,t'). Minimizing over every escape gives the
+// guaranteed spend of species t:
+//
+//	spend_t = min( min_x NN_t(x) + S_t(x),  followHalf[K][t] )
+//
+// and spend_t − δ_t ≥ 0 is the amount the tail bound undercharges t.
+//
+// Soundness of charging ONE species this way (see PropagatedLB): in any
+// completion T, the cost decomposes over disjoint node families — the
+// counterparts of v's nodes (the LCA in T of each v-clade) plus the one
+// internal node u_t created per inserted species t. The standard tail
+// proof charges δ_t to u_t and h(x) to each counterpart. For a single
+// chosen species t*, u_{t*} is worth NN_{t*}(x) instead of δ_{t*} and the
+// counterparts of x's ancestors are worth their A_{t*} raises on top of
+// their h — or, if t* attaches among unplaced species only, u_{t*} is
+// worth the follower floor. No summand is claimed twice, so
+//
+//	ω(T) ≥ Cost(v) + tail[K] + (spend_{t*} − δ_{t*})
+//
+// for every t*, hence for the maximizing one. Raises of DIFFERENT species
+// land on the SAME ancestor counterparts, so the increments must never be
+// summed across species — the max is the whole headroom.
+
+// PropagatedLB returns the strongest lower bound the propagation layer
+// proves for v: v.LB plus the best single-species undercharge (zero for a
+// complete topology). The bound is exactness-preserving — every
+// completion of v costs at least PropagatedLB(v) — so engines may prune
+// against it exactly like v.LB. Scratch comes from np (nil allocates);
+// the pooled steady state allocates nothing. Cost is O((n−K)·K) worst
+// case, with a per-species skip that exits in O(1) whenever a species'
+// follower floor caps its possible contribution below the running best.
+func (p *Problem) PropagatedLB(v *PNode, np *NodePool) float64 {
+	k := v.K
+	if k >= p.n {
+		return v.LB
+	}
+	nn := 2*k - 1
+	md, stk, raise := np.propScratch(nn)
+	follow := p.followHalf[k*p.n:]
+	extra := 0.0
+	for t := k; t < p.n; t++ {
+		delta := p.tail[t] - p.tail[t+1]
+		follower := follow[t]
+		if follower-delta <= extra {
+			// Even the best topology-aware spend is capped by the follower
+			// floor; this species cannot beat the current increment.
+			continue
+		}
+		p.maxDistSweep(v, t, md)
+		// Top-down pass over v: for every node x, the joining-node floor
+		// NN_t(x) plus the accumulated ancestor raises S_t(x). raise
+		// carries S along the explicit DFS stack.
+		minSpend := math.Inf(1)
+		stk[0], raise[0] = v.root, 0
+		sp := 1
+		for sp > 0 {
+			sp--
+			x, acc := stk[sp], raise[sp]
+			hx := v.height[x]
+			half := md[x] / 2
+			val := hx + acc
+			if half > hx {
+				val = half + acc
+			}
+			if val < minSpend {
+				minSpend = val
+			}
+			if l := v.left[x]; l != -1 {
+				a := acc
+				if half > hx {
+					a += half - hx // A_t(x), charged to both subtrees
+				}
+				stk[sp], raise[sp] = l, a
+				stk[sp+1], raise[sp+1] = v.right[x], a
+				sp += 2
+			}
+		}
+		if follower < minSpend {
+			minSpend = follower
+		}
+		if e := minSpend - delta; e > extra {
+			extra = e
+		}
+	}
+	return v.LB + extra
+}
+
+// twinShadowed reports whether the insertion position above node e is
+// discarded by the twin symmetry rule: e is a leaf whose sibling is a
+// smaller-indexed exact twin leaf. The two positions then generate
+// subtrees that are isomorphic under swapping the twins (a matrix
+// automorphism), and the completion set of the kept position covers the
+// pruned one cost-for-cost — safe whenever a single optimum suffices.
+func (p *Problem) twinShadowed(v *PNode, e int32) bool {
+	s := v.species[e]
+	if s < 0 {
+		return false
+	}
+	par := v.parent[e]
+	if par == -1 {
+		return false
+	}
+	other := v.left[par]
+	if other == e {
+		other = v.right[par]
+	}
+	os := v.species[other]
+	return os >= 0 && os < s && p.twinRep[os] == p.twinRep[s]
+}

@@ -27,6 +27,14 @@ type Options struct {
 	// of the UPGMM solution — the ablation measuring what Step 3 of BBU
 	// is worth.
 	NoInitialUB bool
+	// Propagate enables the incremental ultrametric propagation bound:
+	// every popped node is re-bounded by PropagatedLB — the three-point
+	// condition of the partial tree priced against every unplaced species
+	// — and pruned when the propagated floor crosses the incumbent where
+	// the plain tail bound did not. Exactness-preserving on any metric;
+	// costs O((n−K)·K) per pop and pays for itself by skipping whole
+	// expansions (the Pruned.Ultrametric bucket measures it per run).
+	Propagate bool
 	// CollectAll retains every optimal tree instead of just one (Step 7 of
 	// the parallel algorithm gathers all solutions).
 	CollectAll bool
@@ -64,6 +72,54 @@ func DefaultOptions() Options {
 // relabeling plus the 3-3 constraint at the third species.
 func PaperOptions() Options {
 	return Options{UseMaxMin: true, Constraints: Constraints{ThreeThree: true}}
+}
+
+// StrongOptions enable every exactness-preserving reduction: the defaults
+// plus the ultrametric propagation bound and the twin dominance rules. This
+// is the configuration the frontier benchmarks (n = 20..38) run under.
+func StrongOptions() Options {
+	opt := DefaultOptions()
+	opt.Propagate = true
+	opt.Dominance = true
+	return opt
+}
+
+// ruleSet renders the optional search rules an Options value enables as a
+// comma-joined list for the obs.SearchConfig event ("none" when every rule
+// is off), in a fixed order so log lines diff cleanly.
+func (opt Options) ruleSet() string {
+	s := ""
+	add := func(name string, on bool) {
+		if !on {
+			return
+		}
+		if s != "" {
+			s += ","
+		}
+		s += name
+	}
+	add("maxmin", opt.UseMaxMin)
+	add("threethree", opt.ThreeThree)
+	add("threethreeall", opt.ThreeThreeAll)
+	add("propagate", opt.Propagate)
+	add("dominance", opt.Dominance)
+	add("collectall", opt.CollectAll)
+	if s == "" {
+		s = "none"
+	}
+	return s
+}
+
+// EmitSearchConfig publishes the obs.SearchConfig event describing the
+// rules opt enables, right after ProblemStart. Shared by every engine so
+// traces and dashboards can attribute prune-rate differences to the
+// configuration that produced them. No-op on a nil probe.
+func EmitSearchConfig(p obs.Probe, n int, opt Options) {
+	if p == nil {
+		return
+	}
+	p.Emit(obs.Event{Kind: obs.SearchConfig, Worker: obs.MasterWorker,
+		N: n, Phase: opt.ruleSet()})
 }
 
 // Stats count the work a search performed. The counters satisfy the
@@ -152,6 +208,7 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 	start := time.Now()
 	if opt.Probe != nil {
 		opt.Probe.Emit(obs.Event{Kind: obs.ProblemStart, Worker: obs.MasterWorker, N: p.n})
+		EmitSearchConfig(opt.Probe, p.n, opt)
 	}
 	ubTree, ubCost := p.InitialUpperBound()
 	ub := ubCost
@@ -233,6 +290,13 @@ func (p *Problem) SolveSequential(opt Options) *Result {
 			res.Stats.CountIncumbentPrune(1)
 			np.Put(v)
 			continue
+		}
+		if opt.Propagate {
+			if plb := p.PropagatedLB(v, np); prune(plb, ub, opt.CollectAll) {
+				res.Stats.CountUltrametricPrune(1)
+				np.Put(v)
+				continue
+			}
 		}
 		if opt.MaxNodes > 0 && res.Stats.Expanded >= opt.MaxNodes {
 			res.Optimal = false

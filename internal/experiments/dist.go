@@ -68,6 +68,7 @@ type distReport struct {
 	GOARCH        string      `json:"goarch"`
 	GoVersion     string      `json:"goversion"`
 	NumCPU        int         `json:"num_cpu"`
+	GoMaxProcs    int         `json:"gomaxprocs"`
 	ExpandFactor  float64     `json:"expand_tolerance_factor"`
 	SpeedupFactor float64     `json:"speedup_tolerance_factor"`
 	Runs          []distEntry `json:"runs"`
@@ -111,6 +112,7 @@ func runDistValidation(cfg Config) (*Figure, error) {
 		GOARCH:        runtime.GOARCH,
 		GoVersion:     runtime.Version(),
 		NumCPU:        runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		ExpandFactor:  distExpandFactor,
 		SpeedupFactor: distSpeedupFactor,
 	}

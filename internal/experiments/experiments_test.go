@@ -19,7 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-maxmin", "ablation-ub", "ablation-pool",
 		"ablation-reduction", "ablation-33",
 		"accuracy", "scale", "ablation-search", "kernel", "scaling", "web",
-		"dist",
+		"dist", "frontier",
 	}
 	for _, id := range want {
 		if _, ok := Lookup(id); !ok {

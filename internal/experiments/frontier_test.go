@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"evotree/internal/bb"
+	"evotree/internal/matrix"
+)
+
+// TestFrontierN20BudgetRegression pins the frontier gain on the n=20
+// uniform instance with the sequential engine (deterministic expansion
+// counts, unlike the parallel runs in BENCH_pr10.json): under a CI node
+// budget between the two measured costs-to-solve (699 rules-on, 5793
+// rules-off at the default workload seed), the strong configuration must
+// finish exactly while the default one must hit the cap. Either direction
+// failing means a pruning-rule regression, not noise.
+func TestFrontierN20BudgetRegression(t *testing.T) {
+	const budget = 2000
+	m := frontierMatrix(Config{Seed: 2005}, frontierInstance{n: 20, family: "uniform"})
+
+	strong := bb.StrongOptions()
+	strong.MaxNodes = budget
+	p, err := bb.NewProblem(m, strong.UseMaxMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ron := p.SolveSequential(strong)
+	if !ron.Optimal {
+		t.Fatalf("rules-on no longer solves n=20 within %d nodes (expanded %d)",
+			budget, ron.Stats.Expanded)
+	}
+
+	off := bb.DefaultOptions()
+	off.MaxNodes = budget
+	p2, err := bb.NewProblem(m, off.UseMaxMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roff := p2.SolveSequential(off)
+	if roff.Optimal {
+		t.Fatalf("rules-off solved n=20 within %d nodes (expanded %d) — the budget no longer separates the configurations; retune it upward",
+			budget, roff.Stats.Expanded)
+	}
+}
+
+// TestPlantTwins checks the twin-planting helper keeps the matrix metric
+// and actually produces identical rows: the duplicate must mirror its
+// source against every third species.
+func TestPlantTwins(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := matrix.Random0100(rng, 8)
+	m := plantTwins(rng, base, 2)
+	if m.Len() != 10 {
+		t.Fatalf("planted matrix has %d species, want 10", m.Len())
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("planted matrix not a valid metric: %v", err)
+	}
+	for dup := 8; dup < 10; dup++ {
+		src := -1
+		for s := 0; s < dup; s++ {
+			same := true
+			for x := 0; x < m.Len(); x++ {
+				if x == s || x == dup {
+					continue
+				}
+				if m.At(dup, x) != m.At(s, x) {
+					same = false
+					break
+				}
+			}
+			if same {
+				src = s
+				break
+			}
+		}
+		if src < 0 {
+			t.Fatalf("duplicate %d has no twin source row", dup)
+		}
+	}
+}

@@ -41,6 +41,10 @@ type scalingEntry struct {
 	OptimalCost float64 `json:"optimal_cost"`
 	Steals      int64   `json:"steals_per_op"`
 	Parks       int64   `json:"parks_per_op"`
+	// Oversubscribed marks rows where the worker count exceeds the procs
+	// actually schedulable (GOMAXPROCS): throughput there measures context
+	// switching as much as the scheduler, and speedup claims don't apply.
+	Oversubscribed bool `json:"oversubscribed,omitempty"`
 	// BaselineNodesPerSec and ThroughputSpeedup are set where the old
 	// scheduler's number is on record (8 workers).
 	BaselineNodesPerSec float64 `json:"baseline_nodes_per_sec,omitempty"`
@@ -53,8 +57,13 @@ type scalingReport struct {
 	GOOS      string         `json:"goos"`
 	GOARCH    string         `json:"goarch"`
 	GoVersion string         `json:"goversion"`
-	NumCPU    int            `json:"num_cpu"`
-	Baseline  string         `json:"baseline"`
+	// NumCPU and GoMaxProcs are recorded separately: in a containerized CI
+	// runner NumCPU reports the host's cores while the cgroup quota (and
+	// hence GOMAXPROCS) may be far smaller — BENCH_pr5.json's "num_cpu": 1
+	// next to 8-worker speedup claims was exactly this confusion.
+	NumCPU     int            `json:"num_cpu"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Baseline   string         `json:"baseline"`
 	Entries   []scalingEntry `json:"entries"`
 }
 
@@ -82,9 +91,10 @@ func runScaling(cfg Config) (*Figure, error) {
 		Schema:    "evotree-scaling-bench/v1",
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Baseline:  "centralized-pool scheduler of BENCH_pr2.json (commit cc49190), same harness and matrices",
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Baseline:   "centralized-pool scheduler of BENCH_pr2.json (commit cc49190), same harness and matrices",
 	}
 	for _, n := range sizes {
 		// Seed 3 matches the kernel experiment and the go-test benchmarks in
@@ -114,13 +124,14 @@ func runScaling(cfg Config) (*Figure, error) {
 					n, w, res.Cost, seqCost)
 			}
 			e := scalingEntry{
-				N:           n,
-				Workers:     w,
-				NsPerOp:     nums.NsPerOp,
-				NodesPerOp:  res.Stats.Expanded,
-				OptimalCost: res.Cost,
-				Steals:      res.Sched.Steals,
-				Parks:       res.Sched.Parks,
+				N:              n,
+				Workers:        w,
+				NsPerOp:        nums.NsPerOp,
+				NodesPerOp:     res.Stats.Expanded,
+				OptimalCost:    res.Cost,
+				Steals:         res.Sched.Steals,
+				Parks:          res.Sched.Parks,
+				Oversubscribed: w > runtime.GOMAXPROCS(0),
 			}
 			if nums.NsPerOp > 0 {
 				e.NodesPerSec = float64(res.Stats.Expanded) / (nums.NsPerOp / 1e9)

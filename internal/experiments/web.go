@@ -59,9 +59,10 @@ type webReport struct {
 	Schema    string     `json:"schema"` // "evotree-web-bench/v1"
 	GOOS      string     `json:"goos"`
 	GOARCH    string     `json:"goarch"`
-	GoVersion string     `json:"goversion"`
-	NumCPU    int        `json:"num_cpu"`
-	Phases    []webPhase `json:"phases"`
+	GoVersion  string     `json:"goversion"`
+	NumCPU     int        `json:"num_cpu"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Phases     []webPhase `json:"phases"`
 }
 
 // webClientResult is one request's outcome.
@@ -253,9 +254,10 @@ func runWeb(cfg Config) (*Figure, error) {
 			Schema:    "evotree-web-bench/v1",
 			GOOS:      runtime.GOOS,
 			GOARCH:    runtime.GOARCH,
-			GoVersion: runtime.Version(),
-			NumCPU:    runtime.NumCPU(),
-			Phases:    phases,
+			GoVersion:  runtime.Version(),
+			NumCPU:     runtime.NumCPU(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Phases:     phases,
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

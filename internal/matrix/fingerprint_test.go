@@ -220,3 +220,56 @@ func BenchmarkFingerprint(b *testing.B) {
 		m.Fingerprint()
 	}
 }
+
+// TestTwinClasses pins the exported twin-class semantics the search's
+// dominance rules build on: rep[i] is the smallest exact twin of i (same
+// distances to every third species), the relation is reflexive-transitive
+// on planted twins, and near-twins (one perturbed entry) do NOT collapse.
+func TestTwinClasses(t *testing.T) {
+	// Planted twins: 0≡3 and 1≡4; 2 is alone.
+	m := New(5)
+	d := [5][5]float64{
+		{0, 8, 6, 2, 8},
+		{8, 0, 7, 8, 3},
+		{6, 7, 0, 6, 7},
+		{2, 8, 6, 0, 8},
+		{8, 3, 7, 8, 0},
+	}
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			m.Set(i, j, d[i][j])
+		}
+	}
+	want := []int{0, 1, 2, 0, 1}
+	got := m.TwinClasses()
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("TwinClasses = %v, want %v", got, want)
+		}
+	}
+
+	// Breaking one off-pair entry must split the twin pair.
+	m.Set(3, 1, 9)
+	got = m.TwinClasses()
+	if got[3] == 0 {
+		t.Fatalf("perturbed near-twins still collapsed: %v", got)
+	}
+
+	// All-equal: a single class with representative 0.
+	eq := New(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			eq.Set(i, j, 5)
+		}
+	}
+	for i, r := range eq.TwinClasses() {
+		if r != 0 {
+			t.Fatalf("all-equal species %d got rep %d, want 0", i, r)
+		}
+	}
+
+	// Empty matrix: nil, no panic.
+	if c := New(0).TwinClasses(); c != nil {
+		t.Fatalf("TwinClasses on empty matrix = %v, want nil", c)
+	}
+}

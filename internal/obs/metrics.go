@@ -432,5 +432,8 @@ func (m *SearchMetrics) Emit(ev Event) {
 			lb = 0 // exposition must stay parseable; 0 marks "no open work"
 		}
 		m.bestLB.Set(lb)
+	default:
+		// SearchConfig, worker lifecycle and phase boundaries carry no
+		// counter of their own; their effects show up in the metrics above.
 	}
 }

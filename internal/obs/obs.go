@@ -113,6 +113,14 @@ const (
 	// open minimum there (the gap reads tighter than it is, never the
 	// other way for the sequential engines).
 	GapSample
+
+	// SearchConfig reports the optional search rules a solve runs under,
+	// emitted once right after ProblemStart by every engine root. Phase
+	// carries the comma-joined enabled-rule list (e.g.
+	// "maxmin,propagate,dominance", or "none"), N the species count.
+	// Ablation tooling keys recorded runs on it, so a telemetry stream is
+	// self-describing about which reductions shaped its prune counters.
+	SearchConfig
 )
 
 // Prune-rule names carried in Event.Phase by Prune events and used as the
@@ -130,13 +138,22 @@ const (
 	// RuleConstraint: children dropped by the generalized per-insertion
 	// 3-3 feasibility filter (Constraints.ThreeThreeAll).
 	RuleConstraint = "constraint"
+	// RuleUltrametric: nodes killed at pop time by the incremental
+	// ultrametric propagation bound — the three-point-condition floor over
+	// the partial tree beat the plain tail bound and crossed the incumbent.
+	RuleUltrametric = "ultrametric"
+	// RuleDominance: insertion positions discarded by the twin dominance
+	// and symmetry rules (equivalent-by-distance leaves force a canonical
+	// insertion order).
+	RuleDominance = "dominance"
 	// RuleBudget: nodes abandoned unexplored when MaxNodes or a context
 	// cancellation truncated the search.
 	RuleBudget = "budget"
 )
 
 // Rules lists every prune-rule name in stable display order.
-var Rules = []string{RuleBound, RuleIncumbent, RuleThreeThree, RuleConstraint, RuleBudget}
+var Rules = []string{RuleBound, RuleIncumbent, RuleThreeThree, RuleConstraint,
+	RuleUltrametric, RuleDominance, RuleBudget}
 
 // MasterWorker is the Worker id used by the sequential engine and by the
 // parallel engine's master phase; real workers are numbered from 0.
@@ -166,6 +183,7 @@ var kindNames = [...]string{
 	Requeue:          "requeue",
 	StaleResult:      "stale_result",
 	GapSample:        "gap_sample",
+	SearchConfig:     "search_config",
 }
 
 // String returns the snake_case event name used in logs and metrics.

@@ -32,11 +32,14 @@ func (t *Tracer) Emit(ev Event) {
 	switch ev.Kind {
 	case ProblemStart, SeedBound, UBImproved, ProblemFinish,
 		PhaseStart, PhaseEnd, SubproblemStart, SubproblemFinish, GapSample,
-		Requeue, StaleResult:
+		SearchConfig, Requeue, StaleResult:
 		// Lease requeues and stale-result rejections are rare fault-path
 		// events worth surfacing alongside the convergence trace; the
 		// per-lease Dispatch traffic stays at Debug with the pool noise.
 		level = slog.LevelInfo
+	default:
+		// Everything else is chatty load-balancing traffic (pool, worker
+		// lifecycle, steals, non-improving solutions): Debug only.
 	}
 	if !t.l.Enabled(context.Background(), level) {
 		return
@@ -81,6 +84,10 @@ func (t *Tracer) Emit(ev Event) {
 			slog.Int64("nodes", ev.Nodes),
 			slog.Int("worker", ev.Worker),
 			slog.Duration("elapsed", ev.Elapsed))
+	case SearchConfig:
+		attrs = append(attrs,
+			slog.String("rules", ev.Phase),
+			slog.Int("species", ev.N))
 	case Dispatch, Requeue, StaleResult:
 		attrs = append(attrs,
 			slog.Int64("unit", ev.Nodes),

@@ -94,6 +94,7 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 	probe := opt.Probe
 	if probe != nil {
 		probe.Emit(obs.Event{Kind: obs.ProblemStart, Worker: obs.MasterWorker, N: p.N()})
+		bb.EmitSearchConfig(probe, p.N(), opt.Options)
 	}
 
 	inc := newIncumbent(opt.CollectAll)
@@ -160,6 +161,14 @@ func SolveProblem(p *bb.Problem, opt Options) *Result {
 			inc.offer(p, v, opt.CollectAll, &masterStats, obs.MasterWorker)
 			mp.Put(v)
 			continue
+		}
+		if opt.Propagate {
+			b := inc.bound()
+			if plb := p.PropagatedLB(v, mp); plb > b || (!opt.CollectAll && plb == b) {
+				masterStats.CountUltrametricPrune(1)
+				mp.Put(v)
+				continue
+			}
 		}
 		masterStats.Expanded++
 		children, pruned := p.Expand(v, opt.Constraints, inc.bound(), opt.CollectAll, mp)
@@ -425,6 +434,16 @@ func runWorker(p *bb.Problem, opt Options, s *scheduler, inc *incumbent,
 			s.finish(1)
 			np.Put(v)
 			continue
+		}
+		if opt.Propagate {
+			// Propagation prune BEFORE the budget draw: a node the bound
+			// kills costs no share of the expansion budget.
+			if plb := p.PropagatedLB(v, np); plb > ub || (!opt.CollectAll && plb == ub) {
+				stats.CountUltrametricPrune(1)
+				s.finish(1)
+				np.Put(v)
+				continue
+			}
 		}
 		if budget != nil && budget.Add(-1) < 0 {
 			cancelled = true

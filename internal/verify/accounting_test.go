@@ -12,12 +12,13 @@ import (
 func TestCheckAccountingDetectsViolations(t *testing.T) {
 	good := bb.Stats{
 		Expanded:        5,
-		Generated:       11,
+		Generated:       14,
 		Roots:           1,
 		Completed:       2,
 		PrunedLB:        4,
 		PrunedIncumbent: 1,
-		Pruned:          bb.PruneStats{Bound: 3, Incumbent: 1, ThreeThree: 1},
+		Pruned: bb.PruneStats{Bound: 3, Incumbent: 1, ThreeThree: 1,
+			Ultrametric: 1, Dominance: 2},
 	}
 	if fails := CheckAccounting(good); len(fails) != 0 {
 		t.Fatalf("consistent stats flagged: %v", fails)
@@ -39,6 +40,13 @@ func TestCheckAccountingDetectsViolations(t *testing.T) {
 	mirrorBroken.PrunedIncumbent++
 	if fails := CheckAccounting(mirrorBroken); len(fails) != 1 || fails[0].Property != "prune-split" {
 		t.Fatalf("broken PrunedIncumbent mirror not flagged: %v", fails)
+	}
+
+	negativeBucket := good
+	negativeBucket.Pruned.Dominance = -2
+	negativeBucket.Generated -= 4 // keep the sum identity closed
+	if fails := CheckAccounting(negativeBucket); len(fails) != 1 || fails[0].Property != "prune-negative" {
+		t.Fatalf("negative dominance bucket not flagged: %v", fails)
 	}
 }
 

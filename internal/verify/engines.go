@@ -44,10 +44,17 @@ func engineByName(name string) (Engine, error) {
 		return o
 	}
 	switch name {
-	case "bb", "bb33":
+	case "bb", "bb33", "bbprop", "bbdom", "bbrules":
+		// bbprop/bbdom/bbrules are the rule-ablation engines: the sequential
+		// DFS with the propagation bound, the dominance rules, or both
+		// enabled. All exactness-preserving, so the differential harness
+		// proves each toggle leaves the optimal cost untouched on every
+		// instance of the oracle band.
 		tt := name == "bb33"
 		return Engine{Name: name, Exact: !tt, Run: func(m *matrix.Matrix, maxNodes int64, probe obs.Probe) (EngineResult, error) {
 			opt := bbOpt(maxNodes, tt)
+			opt.Propagate = name == "bbprop" || name == "bbrules"
+			opt.Dominance = name == "bbdom" || name == "bbrules"
 			opt.Probe = probe
 			res, err := bb.Solve(m, opt)
 			if err != nil {
@@ -105,6 +112,21 @@ func engineByName(name string) (Engine, error) {
 	if w, ok := parseWorkers(name, "distc"); ok {
 		return Engine{Name: name, Decomposition: true, Run: distRun(name, w, true)}, nil
 	}
+	// pbbs<N> is the parallel engine with the strong rule set (propagation
+	// bound + dominance), so the differential harness proves the rules
+	// compose with work stealing and shared-bound broadcast.
+	if w, ok := parseWorkers(name, "pbbs"); ok {
+		return Engine{Name: name, Exact: true, Run: func(m *matrix.Matrix, maxNodes int64, probe obs.Probe) (EngineResult, error) {
+			opt := pbb.Options{Options: bb.StrongOptions(), Workers: w, InitialFanout: 2}
+			opt.MaxNodes = maxNodes
+			opt.Probe = probe
+			res, err := pbb.Solve(m, opt)
+			if err != nil {
+				return EngineResult{Name: name}, err
+			}
+			return EngineResult{Name: name, Cost: res.Cost, Tree: res.Tree, Optimal: res.Optimal, Stats: res.Stats}, nil
+		}}, nil
+	}
 	// pbb<N> runs the parallel engine with N workers, for any N ≥ 1 — the
 	// differential harness sweeps the work-stealing scheduler at arbitrary
 	// concurrency levels (evocheck -workers).
@@ -159,18 +181,21 @@ func PBBEngineName(workers int) string {
 }
 
 // EngineNames lists the standard engine names, sorted. Any "pbb<N>"
-// (in-process parallel), "dist<N>" (loopback HTTP farm, exact) or
-// "distc<N>" (farm + compact-set decomposition) with N ≥ 1 is
-// additionally accepted by ParseEngines for concurrency sweeps.
+// (in-process parallel), "pbbs<N>" (parallel + strong rules), "dist<N>"
+// (loopback HTTP farm, exact) or "distc<N>" (farm + compact-set
+// decomposition) with N ≥ 1 is additionally accepted by ParseEngines for
+// concurrency sweeps.
 func EngineNames() []string {
-	names := []string{"bb", "bb33", "bestfirst", "pbb1", "pbb4", "pbb8", "whole", "compact", "compact33"}
+	names := []string{"bb", "bb33", "bbprop", "bbdom", "bbrules", "bestfirst",
+		"pbb1", "pbb4", "pbb8", "pbbs4", "whole", "compact", "compact33"}
 	sort.Strings(names)
 	return names
 }
 
 // DefaultEngineSpec is the engine list the harness and CI run: every
-// engine, exact and heuristic.
-const DefaultEngineSpec = "bb,bb33,bestfirst,pbb1,pbb4,pbb8,whole,compact,compact33"
+// engine, exact and heuristic, including the rule-ablation engines that
+// pin the propagation/dominance rules to the unruled optimum.
+const DefaultEngineSpec = "bb,bb33,bbprop,bbdom,bbrules,bestfirst,pbb1,pbb4,pbb8,pbbs4,whole,compact,compact33"
 
 // ParseEngines resolves a comma-separated engine list ("" means the
 // default set).

@@ -45,6 +45,7 @@ import (
 
 	"evotree/internal/bb"
 	"evotree/internal/matrix"
+	"evotree/internal/obs"
 	"evotree/internal/tree"
 )
 
@@ -127,6 +128,15 @@ func CheckAccounting(s bb.Stats) []Failure {
 	if s.PrunedIncumbent != s.Pruned.Incumbent {
 		fails = append(fails, Failure{Property: "prune-split", Detail: fmt.Sprintf(
 			"PrunedIncumbent %d != Pruned.Incumbent %d", s.PrunedIncumbent, s.Pruned.Incumbent)})
+	}
+	// Every attribution bucket (including the propagation/dominance rules)
+	// must be a plain count: a negative value means a double-put or a
+	// mis-signed accumulation somewhere in an engine's prune sites.
+	for _, rule := range obs.Rules {
+		if c := s.Pruned.ByRule(rule); c < 0 {
+			fails = append(fails, Failure{Property: "prune-negative", Detail: fmt.Sprintf(
+				"Pruned.%s = %d is negative", rule, c)})
+		}
 	}
 	return fails
 }

@@ -570,13 +570,15 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request, job string
 				continue
 			}
 			switch ev.Kind {
-			case obs.ProblemStart, obs.SeedBound, obs.UBImproved, obs.GapSample,
-				obs.Prune, obs.ProblemFinish:
+			case obs.ProblemStart, obs.SearchConfig, obs.SeedBound, obs.UBImproved,
+				obs.GapSample, obs.Prune, obs.ProblemFinish:
 				fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, obs.EventJSON(ev))
 				fl.Flush()
 				if job != "" && ev.Kind == obs.ProblemFinish {
 					return
 				}
+			default:
+				// Pool/steal/lifecycle chatter stays off the client stream.
 			}
 		}
 	}
